@@ -1,0 +1,124 @@
+// Command volap-bench regenerates every figure of the VOLAP paper's
+// evaluation section (§IV) plus the ablation benches from DESIGN.md.
+//
+// Usage:
+//
+//	volap-bench [-scale S] [-seed N] <experiment>
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 bulk
+// ablation-keys ablation-split ablation-sync all
+//
+// -scale multiplies workload sizes (1 = laptop defaults; the paper ran at
+// roughly 5000x on 20 EC2 nodes). Output is the same rows/series the
+// paper plots; EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	qpb := flag.Int("queries-per-band", 20, "queries per coverage band (fig4)")
+	phases := flag.Int("phases", 5, "scale-up phases (fig6/fig7)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: volap-bench [flags] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|bulk|ablation-keys|ablation-split|ablation-sync|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := bench.Scale(*scale)
+	var run func(name string) error
+	run = func(name string) error {
+		w := os.Stdout
+		switch name {
+		case "fig4":
+			rows, err := bench.Fig4(s, *qpb, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig4(w, rows)
+		case "fig5":
+			rows, err := bench.Fig5(s, nil, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig5(w, rows)
+		case "fig6", "fig7":
+			rows, err := bench.ScaleUp(bench.ScaleUpConfig{Scale: s, Phases: *phases, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			if name == "fig6" {
+				bench.PrintFig6(w, rows)
+			} else {
+				bench.PrintFig7(w, rows)
+			}
+		case "fig8":
+			rows, err := bench.Fig8(bench.Fig8Config{Scale: s, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			bench.PrintFig8(w, rows)
+		case "fig9":
+			pts, err := bench.Fig9(s, 0, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig9(w, pts)
+		case "fig10":
+			out, err := bench.Fig10(s, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig10(w, out)
+		case "bulk":
+			rows, err := bench.Bulk(s, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintBulk(w, rows)
+		case "ablation-keys":
+			rows, err := bench.AblationKeys(s, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblationKeys(w, rows)
+		case "ablation-split":
+			rows, err := bench.AblationSplit(s, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblationSplit(w, rows)
+		case "ablation-sync":
+			rows, err := bench.AblationSync(*seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblationSync(w, rows)
+		case "all":
+			for _, n := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "bulk", "ablation-keys", "ablation-split", "ablation-sync"} {
+				fmt.Println()
+				if err := run(n); err != nil {
+					return fmt.Errorf("%s: %w", n, err)
+				}
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "volap-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command volap-coord runs VOLAP's coordination service (the Zookeeper
+// role of §III-B): an in-memory tree of versioned nodes holding the
+// global system image, served over TCP with watch support.
+//
+// With -init (the default) it seeds /volap/config with the TPC-DS schema
+// of the paper's Figure 1 and the default shard store configuration
+// (Hilbert PDC tree, MDS keys) so workers and servers can boot against
+// it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/coord"
+	"repro/internal/image"
+	"repro/internal/tpcds"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5550", "TCP listen address")
+	initCfg := flag.Bool("init", true, "seed /volap/config with the TPC-DS cluster configuration if absent")
+	leafCap := flag.Int("leaf-capacity", 64, "shard tree leaf capacity")
+	dirCap := flag.Int("dir-capacity", 16, "shard tree directory fan-out")
+	flag.Parse()
+
+	store := coord.NewStore()
+	if *initCfg {
+		cfg := &image.ClusterConfig{
+			Schema:       tpcds.Schema(),
+			LeafCapacity: *leafCap,
+			DirCapacity:  *dirCap,
+		}
+		if _, err := store.Create(image.PathConfig, cfg.EncodeBytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "volap-coord: init:", err)
+			os.Exit(1)
+		}
+	}
+	srv, bound, err := coord.Serve(store, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-coord:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("volap-coord: serving global system image on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	store.Close()
+}

@@ -1,0 +1,67 @@
+// Command volap-manager runs VOLAP's load-balancing manager (§III-E): a
+// background process that periodically analyzes the global system image
+// and coordinates shard splits and migrations between workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/manager"
+)
+
+func main() {
+	coordAddr := flag.String("coord", "127.0.0.1:5550", "coordination service address")
+	interval := flag.Duration("interval", time.Second, "balancing pass interval")
+	ratio := flag.Float64("ratio", 1.25, "max/min load imbalance threshold")
+	minMove := flag.Uint64("min-move", 512, "minimum item gap before balancing")
+	maxShard := flag.Uint64("max-shard", 0, "split shards above this many items (0 = off)")
+	verbose := flag.Bool("v", false, "log every pass")
+	flag.Parse()
+
+	co, err := coord.DialClient(*coordAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-manager: coord:", err)
+		os.Exit(1)
+	}
+	defer co.Close()
+
+	m, err := manager.New(manager.Options{
+		Coord:         co,
+		Interval:      *interval,
+		Ratio:         *ratio,
+		MinMoveItems:  *minMove,
+		MaxShardItems: *maxShard,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-manager:", err)
+		os.Exit(1)
+	}
+	m.Start()
+	fmt.Printf("volap-manager: balancing every %v (ratio %.2f)\n", *interval, *ratio)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if *verbose {
+		tick := time.NewTicker(*interval * 5)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sig:
+				m.Close()
+				return
+			case <-tick.C:
+				st := m.Stats()
+				fmt.Printf("volap-manager: passes=%d splits=%d migrations=%d moved=%d\n",
+					st.Passes, st.Splits, st.Migrations, st.MovedItems)
+			}
+		}
+	}
+	<-sig
+	m.Close()
+}

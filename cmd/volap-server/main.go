@@ -1,0 +1,54 @@
+// Command volap-server runs one VOLAP server node (§III-A): the
+// client-facing tier that routes insertions and aggregate queries through
+// its local image and synchronizes with the global image at a
+// configurable rate (the paper's default is 3 seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/server"
+)
+
+func main() {
+	coordAddr := flag.String("coord", "127.0.0.1:5550", "coordination service address")
+	id := flag.String("id", "", "server ID (required, e.g. s0)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	sync := flag.Duration("sync", 3*time.Second, "local image synchronization interval")
+	flag.Parse()
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "volap-server: -id is required")
+		os.Exit(2)
+	}
+
+	co, err := coord.DialClient(*coordAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-server: coord:", err)
+		os.Exit(1)
+	}
+	defer co.Close()
+
+	s, err := server.New(server.Options{ID: *id, Coord: co, SyncInterval: *sync})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-server:", err)
+		os.Exit(1)
+	}
+	bound, err := s.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("volap-server %s: serving clients on %s (sync every %v, %d shards in image)\n",
+		*id, bound, *sync, s.NumShards())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	s.Close()
+}

@@ -1,0 +1,93 @@
+// Command volap-worker runs one VOLAP worker node (§III-A): it hosts data
+// shards in Hilbert PDC trees, serves insert/query/split/migrate
+// operations over TCP, and publishes shard statistics to the coordination
+// service.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/manager"
+	"repro/internal/worker"
+)
+
+func main() {
+	coordAddr := flag.String("coord", "127.0.0.1:5550", "coordination service address")
+	id := flag.String("id", "", "worker ID (required, e.g. w0)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	shards := flag.Int("shards", 4, "initial empty shards to create and register")
+	stats := flag.Duration("stats", 500*time.Millisecond, "statistics publication interval")
+	flag.Parse()
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "volap-worker: -id is required")
+		os.Exit(2)
+	}
+
+	co, err := coord.DialClient(*coordAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-worker: coord:", err)
+		os.Exit(1)
+	}
+	defer co.Close()
+	raw, _, err := co.Get(image.PathConfig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-worker: cluster config:", err)
+		os.Exit(1)
+	}
+	cfg, err := image.DecodeClusterConfigBytes(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-worker:", err)
+		os.Exit(1)
+	}
+
+	w := worker.New(*id, cfg)
+	bound, err := w.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-worker:", err)
+		os.Exit(1)
+	}
+	publish := func(m *image.WorkerMeta) {
+		_, _ = co.CreateOrSet(image.WorkerPath(*id), m.EncodeBytes())
+	}
+	publish(w.Meta())
+	w.StartStats(publish, *stats)
+
+	if *shards > 0 {
+		first, err := manager.AllocShardIDs(co, uint64(*shards))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-worker: alloc shards:", err)
+			os.Exit(1)
+		}
+		for i := 0; i < *shards; i++ {
+			sid := first + image.ShardID(i)
+			if err := w.CreateShard(sid); err != nil {
+				fmt.Fprintln(os.Stderr, "volap-worker:", err)
+				os.Exit(1)
+			}
+			meta := &image.ShardMeta{
+				ID:     sid,
+				Worker: *id,
+				Key:    keys.NewEmpty(cfg.Keys, cfg.Schema.NumDims(), cfg.MDSCap),
+			}
+			if _, err := co.CreateOrSet(image.ShardPath(sid), meta.EncodeBytes()); err != nil {
+				fmt.Fprintln(os.Stderr, "volap-worker: register shard:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("volap-worker %s: created shards %d..%d\n", *id, first, first+image.ShardID(*shards)-1)
+	}
+	fmt.Printf("volap-worker %s: serving on %s\n", *id, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	w.Close()
+}

@@ -1,0 +1,167 @@
+// Command volap is the VOLAP command-line client: it inspects a running
+// cluster and drives insert/query streams against it.
+//
+// Usage:
+//
+//	volap status -coord 127.0.0.1:5550
+//	volap insert -coord ... [-server addr] -n 10000 [-bulk]
+//	volap query  -coord ... [-server addr] [-n 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	volap "repro"
+
+	"repro/internal/coord"
+	"repro/internal/image"
+	"repro/internal/tpcds"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	coordAddr := fs.String("coord", "127.0.0.1:5550", "coordination service address")
+	serverAddr := fs.String("server", "", "server address (default: first registered server)")
+	n := fs.Int("n", 1000, "operation count")
+	seed := fs.Int64("seed", time.Now().UnixNano(), "workload seed")
+	bulk := fs.Bool("bulk", false, "use the bulk ingestion path")
+	_ = fs.Parse(args)
+
+	co, err := coord.DialClient(*coordAddr)
+	fatal(err, "coord")
+	defer co.Close()
+
+	switch cmd {
+	case "status":
+		status(co)
+	case "insert":
+		cl, schema := connect(co, *serverAddr)
+		defer cl.Close()
+		gen := tpcds.NewGenerator(schema, *seed, 1.1)
+		start := time.Now()
+		batch := 500
+		for off := 0; off < *n; off += batch {
+			m := batch
+			if off+m > *n {
+				m = *n - off
+			}
+			items := gen.Items(m)
+			if *bulk {
+				fatal(cl.BulkLoad(items), "bulk load")
+			} else {
+				fatal(cl.InsertBatch(items), "insert")
+			}
+		}
+		dur := time.Since(start)
+		fmt.Printf("inserted %d items in %v (%.0f items/s)\n", *n, dur, float64(*n)/dur.Seconds())
+	case "query":
+		cl, schema := connect(co, *serverAddr)
+		defer cl.Close()
+		agg, info, err := cl.Query(volap.AllRect(schema))
+		fatal(err, "query")
+		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)\n",
+			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted)
+		gen := tpcds.NewGenerator(schema, *seed, 1.1)
+		for i := 0; i < *n; i++ {
+			q := gen.Query()
+			start := time.Now()
+			agg, info, err := cl.Query(q)
+			fatal(err, "query")
+			cov := 0.0
+			if total, _, err := cl.Query(volap.AllRect(schema)); err == nil && total.Count > 0 {
+				cov = float64(agg.Count) / float64(total.Count)
+			}
+			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v\n",
+				i, cov*100, agg.Count, agg.Sum, info.ShardsSearched, time.Since(start).Round(time.Microsecond))
+		}
+	default:
+		usage()
+	}
+}
+
+// connect picks a server (explicitly or from the image) and attaches a
+// client session.
+func connect(co *coord.Client, serverAddr string) (*volap.Client, *volap.Schema) {
+	raw, _, err := co.Get(image.PathConfig)
+	fatal(err, "cluster config")
+	cfg, err := image.DecodeClusterConfigBytes(raw)
+	fatal(err, "cluster config")
+	addr := serverAddr
+	if addr == "" {
+		names, err := co.Children(image.PathServers)
+		fatal(err, "servers")
+		if len(names) == 0 {
+			fatal(fmt.Errorf("no servers registered"), "servers")
+		}
+		raw, _, err := co.Get(image.ServerPath(names[0]))
+		fatal(err, "server meta")
+		meta, err := image.DecodeServerMetaBytes(raw)
+		fatal(err, "server meta")
+		addr = meta.Addr
+	}
+	cl, err := volap.Connect(addr, cfg.Schema.NumDims())
+	fatal(err, "connect")
+	return cl, cfg.Schema
+}
+
+// status prints the global system image.
+func status(co *coord.Client) {
+	fmt.Println("== servers ==")
+	names, _ := co.Children(image.PathServers)
+	for _, name := range names {
+		if raw, _, err := co.Get(image.ServerPath(name)); err == nil {
+			if m, err := image.DecodeServerMetaBytes(raw); err == nil {
+				fmt.Printf("  %-6s %s\n", m.ID, m.Addr)
+			}
+		}
+	}
+	fmt.Println("== workers ==")
+	names, _ = co.Children(image.PathWorkers)
+	for _, name := range names {
+		if raw, _, err := co.Get(image.WorkerPath(name)); err == nil {
+			if m, err := image.DecodeWorkerMetaBytes(raw); err == nil {
+				age := time.Since(time.UnixMilli(m.UpdatedMs)).Round(time.Millisecond)
+				fmt.Printf("  %-6s %-22s shards=%-4d items=%-10d mem=%-10d updated %v ago\n",
+					m.ID, m.Addr, m.Shards, m.Items, m.MemBytes, age)
+			}
+		}
+	}
+	fmt.Println("== shards ==")
+	names, _ = co.Children(image.PathShards)
+	ids := make([]int, 0, len(names))
+	for _, name := range names {
+		if id, ok := image.ParseShardPath(image.PathShards + "/" + name); ok {
+			ids = append(ids, int(id))
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		raw, _, err := co.Get(image.ShardPath(image.ShardID(id)))
+		if err != nil {
+			continue
+		}
+		if m, err := image.DecodeShardMetaBytes(raw); err == nil {
+			fmt.Printf("  shard %-5d worker=%-6s count=%-10d box=%v\n", m.ID, m.Worker, m.Count, m.Key)
+		}
+	}
+}
+
+func fatal(err error, what string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "volap: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: volap <status|insert|query> [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,117 @@
+// Elastic scale-out: the Figure 6 scenario as a narrative. The cluster
+// starts with two workers, ingests data in phases, and two empty workers
+// are added before each subsequent phase; the output shows the load
+// balancer pulling the min/max items-per-worker band back together after
+// every expansion via shard splits and migrations — while the data stays
+// fully queryable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	volap "repro"
+)
+
+func main() {
+	phases := flag.Int("phases", 4, "load phases")
+	perPhase := flag.Int("items", 20000, "items ingested per phase")
+	flag.Parse()
+
+	schema := volap.TPCDSSchema()
+	opts := volap.DefaultOptions(schema)
+	opts.Workers = 2
+	opts.Servers = 2
+	opts.SyncInterval = 200 * time.Millisecond
+	opts.BalanceInterval = -1 // run passes explicitly so the story is visible
+	opts.MinMoveItems = 512
+	cluster, err := volap.Start(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	gen := volap.NewGenerator(schema, 11, 1.1)
+
+	var expected uint64
+	for phase := 0; phase < *phases; phase++ {
+		if phase > 0 {
+			for i := 0; i < 2; i++ {
+				id, err := cluster.AddWorker()
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(">> added empty worker %s\n", id)
+			}
+		}
+
+		// Balance until quiescent, narrating each pass.
+		time.Sleep(150 * time.Millisecond) // let worker stats land
+		for pass := 0; ; pass++ {
+			ops, err := cluster.RunBalancePass()
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(cluster, fmt.Sprintf("phase %d balance pass %d (%d ops)", phase, pass, ops))
+			if ops == 0 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+
+		// Load phase.
+		for off := 0; off < *perPhase; off += 4000 {
+			n := 4000
+			if off+n > *perPhase {
+				n = *perPhase - off
+			}
+			if err := client.BulkLoad(gen.Items(n)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		expected += uint64(*perPhase)
+		report(cluster, fmt.Sprintf("phase %d loaded %d items", phase, *perPhase))
+
+		// The database remains exact throughout.
+		agg, _, err := client.Query(volap.AllRect(schema))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   query check: count=%d (expected %d)\n", agg.Count, expected)
+		if agg.Count != expected {
+			log.Fatalf("lost data: %d != %d", agg.Count, expected)
+		}
+	}
+
+	st := cluster.BalanceStats()
+	fmt.Printf("\ndone: %d workers, %d items, %d splits, %d migrations (%d items moved)\n",
+		cluster.NumWorkers(), expected, st.Splits, st.Migrations, st.MovedItems)
+}
+
+// report prints the per-worker load band like Figure 6's red region.
+func report(cluster *volap.Cluster, label string) {
+	names, loads, err := cluster.WorkerLoads()
+	if err != nil {
+		return
+	}
+	var lo, hi, total uint64
+	lo = ^uint64(0)
+	for _, n := range loads {
+		total += n
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	fmt.Printf("%-42s workers=%d items=%-8d min/worker=%-8d max/worker=%-8d\n",
+		label, len(names), total, lo, hi)
+}

@@ -1,0 +1,99 @@
+// Quickstart: boot an embedded VOLAP cluster, define a small dimension
+// hierarchy, insert a few sales records, and run aggregate queries at
+// several hierarchy levels — the minimal end-to-end tour of the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	volap "repro"
+)
+
+func main() {
+	// A sales cube with three hierarchical dimensions.
+	store, err := volap.NewDimension("Store",
+		volap.Level{Name: "Country", Fanout: 4},
+		volap.Level{Name: "City", Fanout: 8},
+	)
+	check(err)
+	product, err := volap.NewDimension("Product",
+		volap.Level{Name: "Category", Fanout: 6},
+		volap.Level{Name: "SKU", Fanout: 20},
+	)
+	check(err)
+	date, err := volap.NewDimension("Date",
+		volap.Level{Name: "Year", Fanout: 3},
+		volap.Level{Name: "Month", Fanout: 12},
+	)
+	check(err)
+	schema, err := volap.NewSchema(store, product, date)
+	check(err)
+
+	// Start an embedded cluster: 2 workers, 1 server, Hilbert PDC tree
+	// shards with MDS keys (the paper's defaults).
+	cluster, err := volap.Start(volap.DefaultOptions(schema))
+	check(err)
+	defer cluster.Stop()
+
+	client, err := cluster.Client()
+	check(err)
+	defer client.Close()
+
+	// Insert sales: Item{Coords, Measure}. Coordinates are leaf ordinals;
+	// Dimension.Ordinal converts a per-level path.
+	sale := func(country, city, cat, sku, year, month uint32, amount float64) volap.Item {
+		s, err := store.Ordinal([]uint32{country, city})
+		check(err)
+		p, err := product.Ordinal([]uint32{cat, sku})
+		check(err)
+		d, err := date.Ordinal([]uint32{year, month})
+		check(err)
+		return volap.Item{Coords: []uint64{s, p, d}, Measure: amount}
+	}
+	items := []volap.Item{
+		sale(0, 0, 0, 3, 0, 0, 19.99),
+		sale(0, 1, 0, 4, 0, 1, 5.49),
+		sale(0, 1, 1, 0, 1, 6, 129.00),
+		sale(1, 5, 2, 10, 1, 7, 42.00),
+		sale(1, 5, 0, 3, 2, 11, 19.99),
+		sale(3, 7, 5, 19, 2, 3, 7.25),
+	}
+	check(client.InsertBatch(items))
+	fmt.Printf("inserted %d sales\n", len(items))
+
+	// Query 1: everything.
+	all, info, err := client.Query(volap.AllRect(schema))
+	check(err)
+	fmt.Printf("total:            count=%d sum=%.2f avg=%.2f (searched %d shards)\n",
+		all.Count, all.Sum, all.Avg(), info.ShardsSearched)
+
+	// Query 2: one country, all products, all dates — a level-1 value in
+	// the Store hierarchy is a contiguous interval of leaf ordinals.
+	country0, err := store.NodeInterval(1, []uint32{0})
+	check(err)
+	allProducts, _ := product.NodeInterval(0, nil)
+	allDates, _ := date.NodeInterval(0, nil)
+	agg, _, err := client.Query(volap.NewRect(country0, allProducts, allDates))
+	check(err)
+	fmt.Printf("country 0:        count=%d sum=%.2f\n", agg.Count, agg.Sum)
+
+	// Query 3: category 0 in year 2 — values at different levels in
+	// different dimensions, as VOLAP queries always are.
+	allStores, _ := store.NodeInterval(0, nil)
+	cat0, err := product.NodeInterval(1, []uint32{0})
+	check(err)
+	year2, err := date.NodeInterval(1, []uint32{2})
+	check(err)
+	agg, _, err = client.Query(volap.NewRect(allStores, cat0, year2))
+	check(err)
+	fmt.Printf("cat 0 in year 2:  count=%d sum=%.2f min=%.2f max=%.2f\n",
+		agg.Count, agg.Sum, agg.Min, agg.Max)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

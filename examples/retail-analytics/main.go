@@ -1,0 +1,142 @@
+// Retail analytics: the workload the paper's introduction motivates — a
+// high-velocity stream of sales events interleaved with live dashboard
+// aggregations over the TPC-DS dimension hierarchies. The example runs a
+// mixed stream (50% inserts / 50% aggregate queries across all coverage
+// bands) against an embedded cluster and prints a rolling dashboard of
+// throughput, latency, and a few business aggregates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	volap "repro"
+)
+
+func main() {
+	seconds := flag.Int("seconds", 10, "how long to run the stream")
+	workers := flag.Int("workers", 3, "worker nodes")
+	preload := flag.Int("preload", 50000, "items bulk-loaded before the stream starts")
+	flag.Parse()
+
+	schema := volap.TPCDSSchema()
+	opts := volap.DefaultOptions(schema)
+	opts.Workers = *workers
+	opts.Servers = 2
+	opts.SyncInterval = 500 * time.Millisecond
+	opts.BalanceInterval = time.Second
+	cluster, err := volap.Start(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Historical load (the paper's bulk ingestion path).
+	gen := volap.NewGenerator(schema, 2026, 1.1)
+	start := time.Now()
+	for off := 0; off < *preload; off += 5000 {
+		n := 5000
+		if off+n > *preload {
+			n = *preload - off
+		}
+		if err := client.BulkLoad(gen.Items(n)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("bulk-loaded %d historical sales in %v (%.0f items/s)\n",
+		*preload, time.Since(start).Round(time.Millisecond),
+		float64(*preload)/time.Since(start).Seconds())
+
+	// Bin dashboard queries by their true coverage, as §IV does.
+	count := func(q volap.Rect) uint64 {
+		agg, _, err := client.Query(q)
+		if err != nil {
+			return 0
+		}
+		return agg.Count
+	}
+	total, _, err := client.Query(volap.AllRect(schema))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bins := gen.GenerateBinned(count, total.Count, 10, 3000)
+
+	// The live stream: 50% inserts, 50% queries drawn across bands.
+	rng := rand.New(rand.NewSource(7))
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	nextReport := time.Now().Add(2 * time.Second)
+	var inserts, queries uint64
+	var insNanos, qryNanos int64
+	for time.Now().Before(deadline) {
+		if rng.Intn(2) == 0 {
+			t0 := time.Now()
+			if err := client.Insert(gen.Item()); err != nil {
+				log.Fatal(err)
+			}
+			insNanos += time.Since(t0).Nanoseconds()
+			inserts++
+		} else {
+			band := volap.Band(rng.Intn(3))
+			t0 := time.Now()
+			if _, _, err := client.Query(bins.Pick(rng, band)); err != nil {
+				log.Fatal(err)
+			}
+			qryNanos += time.Since(t0).Nanoseconds()
+			queries++
+		}
+		if time.Now().After(nextReport) {
+			dashboard(client, schema, inserts, queries, insNanos, qryNanos)
+			nextReport = time.Now().Add(2 * time.Second)
+		}
+	}
+	dashboard(client, schema, inserts, queries, insNanos, qryNanos)
+
+	names, loads, err := cluster.WorkerLoads()
+	if err == nil {
+		fmt.Println("final worker loads:")
+		for i, name := range names {
+			fmt.Printf("  %-4s %d items\n", name, loads[i])
+		}
+	}
+	st := cluster.BalanceStats()
+	fmt.Printf("load balancer: %d splits, %d migrations, %d items moved\n",
+		st.Splits, st.Migrations, st.MovedItems)
+}
+
+// dashboard prints stream rates and three live aggregates at different
+// hierarchy levels.
+func dashboard(client *volap.Client, schema *volap.Schema, ins, qry uint64, insNs, qryNs int64) {
+	insMs, qryMs := 0.0, 0.0
+	if ins > 0 {
+		insMs = float64(insNs) / float64(ins) / 1e6
+	}
+	if qry > 0 {
+		qryMs = float64(qryNs) / float64(qry) / 1e6
+	}
+	all, _, err := client.Query(volap.AllRect(schema))
+	if err != nil {
+		return
+	}
+	// Revenue by store country: a GroupBy roll-up over dimension 0.
+	groups, err := client.GroupBy(volap.AllRect(schema), 0, 0)
+	if err != nil {
+		return
+	}
+	best := groups[0]
+	for _, g := range groups {
+		if g.Agg.Sum > best.Agg.Sum {
+			best = g
+		}
+	}
+	fmt.Printf("[dashboard] ops: %d ins (%.2fms) / %d qry (%.2fms) | revenue: total %.0f (n=%d) | top country #%d: %.0f (%.1f%%)\n",
+		ins, insMs, qry, qryMs, all.Sum, all.Count, best.Value, best.Agg.Sum, 100*float64(best.Agg.Count)/float64(all.Count))
+}

@@ -1,0 +1,155 @@
+package volap_test
+
+// Process-level integration test: builds the real binaries and boots a
+// full multi-process VOLAP deployment over TCP — coordination service,
+// two workers, one server, the manager — then drives it with the CLI
+// client library. This is the closest in-repo equivalent of the paper's
+// EC2 deployment topology.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	volap "repro"
+
+	"repro/internal/coord"
+	"repro/internal/image"
+	"repro/internal/tpcds"
+)
+
+// freePort reserves a distinct local TCP port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment test skipped in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/volap-coord", "./cmd/volap-worker", "./cmd/volap-server", "./cmd/volap-manager")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	coordAddr := freePort(t)
+	w0Addr := freePort(t)
+	w1Addr := freePort(t)
+	srvAddr := freePort(t)
+
+	spawn := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		})
+		return cmd
+	}
+
+	spawn("volap-coord", "-listen", coordAddr)
+	waitDial(t, coordAddr)
+	spawn("volap-worker", "-coord", coordAddr, "-id", "w0", "-listen", w0Addr, "-shards", "4")
+	spawn("volap-worker", "-coord", coordAddr, "-id", "w1", "-listen", w1Addr, "-shards", "4")
+	waitDial(t, w0Addr)
+	waitDial(t, w1Addr)
+	spawn("volap-server", "-coord", coordAddr, "-id", "s0", "-listen", srvAddr, "-sync", "300ms")
+	spawn("volap-manager", "-coord", coordAddr, "-interval", "300ms")
+	waitDial(t, srvAddr)
+
+	// Drive the deployment through the public client API.
+	schema := tpcds.Schema()
+	cl, err := volap.Connect(srvAddr, schema.NumDims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	gen := volap.NewGenerator(schema, 3, 1.1)
+	const n = 10000
+	for off := 0; off < n; off += 1000 {
+		if err := cl.InsertBatch(gen.Items(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, info, err := cl.Query(volap.AllRect(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != n {
+		t.Fatalf("count over TCP deployment = %d, want %d", agg.Count, n)
+	}
+	if info.WorkersContacted != 2 {
+		t.Errorf("workers contacted = %d, want 2", info.WorkersContacted)
+	}
+	groups, err := cl.GroupBy(volap.AllRect(schema), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, g := range groups {
+		total += g.Agg.Count
+	}
+	if total != n {
+		t.Fatalf("group-by over TCP sums to %d", total)
+	}
+
+	// The manager balanced real processes: check the global image.
+	co, err := coord.DialClient(coordAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ws, _ := co.Children(image.PathWorkers)
+		var loads []uint64
+		for _, w := range ws {
+			raw, _, err := co.Get(image.WorkerPath(w))
+			if err == nil {
+				if m, err := image.DecodeWorkerMetaBytes(raw); err == nil {
+					loads = append(loads, m.Items)
+				}
+			}
+		}
+		if len(loads) == 2 && loads[0] > 0 && loads[1] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never both held data: %v", loads)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func waitDial(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never came up: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

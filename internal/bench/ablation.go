@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/pbs"
+	"repro/internal/tpcds"
+)
+
+// This file implements the ablation benches called out in DESIGN.md:
+// bulk vs point ingestion (§IV-C), MDS cap and key kind, split policy,
+// and sync interval vs staleness.
+
+// BulkRow compares ingestion modes (§IV-C: bulk ingestion reaches ~8x the
+// point-insert rate in the paper: 400k/s vs 50k/s).
+type BulkRow struct {
+	Mode     string
+	Items    int
+	RateKops float64
+}
+
+// Bulk measures point-insert vs bulk-load ingestion rates on a single
+// Hilbert PDC tree and through the full cluster path.
+func Bulk(scale Scale, seed int64) ([]BulkRow, error) {
+	schema := tpcds.Schema()
+	gen := tpcds.NewGenerator(schema, seed, 1.1)
+	n := scale.N(60000)
+	items := gen.Items(n)
+	var rows []BulkRow
+
+	// Single-tree point insertion.
+	st, build, err := buildStore(schema, core.StoreHilbertPDC, keys.MDS, items)
+	if err != nil {
+		return nil, err
+	}
+	_ = st
+	rows = append(rows, BulkRow{Mode: "tree-point", Items: n, RateKops: float64(n) / build.Seconds() / 1000})
+
+	// Single-tree bulk load (sorted packing).
+	st2, err := core.NewStore(core.Config{Schema: schema, Store: core.StoreHilbertPDC, Keys: keys.MDS})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := st2.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	rows = append(rows, BulkRow{Mode: "tree-bulk", Items: n, RateKops: float64(n) / time.Since(start).Seconds() / 1000})
+	return rows, nil
+}
+
+// PrintBulk renders the comparison.
+func PrintBulk(w io.Writer, rows []BulkRow) {
+	fprintf(w, "# Bulk vs point ingestion (single Hilbert PDC tree)\n")
+	fprintf(w, "%-12s %10s %14s\n", "mode", "items", "rate(kop/s)")
+	for _, r := range rows {
+		fprintf(w, "%-12s %10d %14.1f\n", r.Mode, r.Items, r.RateKops)
+	}
+}
+
+// AblationKeysRow compares key kinds and MDS caps.
+type AblationKeysRow struct {
+	Keys     keys.Kind
+	MDSCap   int
+	InsertUs float64
+	BandMs   [3]float64
+}
+
+// AblationKeys sweeps the key representation: MBR vs MDS with caps 2-8
+// (DESIGN.md decision 2).
+func AblationKeys(scale Scale, seed int64) ([]AblationKeysRow, error) {
+	schema := tpcds.Schema()
+	n := scale.N(40000)
+	rng := rand.New(rand.NewSource(seed))
+	type cfg struct {
+		kk  keys.Kind
+		cap int
+	}
+	var rows []AblationKeysRow
+	for _, c := range []cfg{{keys.MBR, 1}, {keys.MDS, 2}, {keys.MDS, 4}, {keys.MDS, 8}} {
+		gen := tpcds.NewGenerator(schema, seed, 1.1)
+		items := gen.Items(n)
+		st, err := core.NewStore(core.Config{Schema: schema, Store: core.StoreHilbertPDC, Keys: c.kk, MDSCap: c.cap})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, it := range items {
+			if err := st.Insert(it); err != nil {
+				return nil, err
+			}
+		}
+		insert := time.Since(start) / time.Duration(n)
+		bins := binFor(gen, st, 10)
+		row := AblationKeysRow{Keys: c.kk, MDSCap: c.cap, InsertUs: float64(insert.Nanoseconds()) / 1000}
+		for band := tpcds.Low; band <= tpcds.High; band++ {
+			qs := pickBand(bins, band, 20, rng)
+			row.BandMs[band] = float64(timeQueries(st, qs).Microseconds()) / 1000
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintAblationKeys renders the sweep.
+func PrintAblationKeys(w io.Writer, rows []AblationKeysRow) {
+	fprintf(w, "# Ablation: key kind and MDS interval cap (Hilbert PDC tree)\n")
+	fprintf(w, "%-6s %7s %12s %10s %10s %10s\n", "keys", "cap", "insert(us)", "low(ms)", "med(ms)", "high(ms)")
+	for _, r := range rows {
+		fprintf(w, "%-6s %7d %12.2f %10.3f %10.3f %10.3f\n", r.Keys, r.MDSCap, r.InsertUs, r.BandMs[0], r.BandMs[1], r.BandMs[2])
+	}
+}
+
+// AblationSplitRow compares split policies (DESIGN.md decision 3).
+type AblationSplitRow struct {
+	Policy   core.SplitPolicy
+	InsertUs float64
+	BandMs   [3]float64
+}
+
+// AblationSplit compares the paper's least-overlap split position scan
+// against a plain median split.
+func AblationSplit(scale Scale, seed int64) ([]AblationSplitRow, error) {
+	schema := tpcds.Schema()
+	n := scale.N(40000)
+	rng := rand.New(rand.NewSource(seed))
+	var rows []AblationSplitRow
+	for _, pol := range []core.SplitPolicy{core.SplitLeastOverlap, core.SplitMedian} {
+		gen := tpcds.NewGenerator(schema, seed, 1.1)
+		items := gen.Items(n)
+		st, err := core.NewStore(core.Config{Schema: schema, Store: core.StoreHilbertPDC, Keys: keys.MDS, SplitPolicy: pol})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, it := range items {
+			if err := st.Insert(it); err != nil {
+				return nil, err
+			}
+		}
+		insert := time.Since(start) / time.Duration(n)
+		bins := binFor(gen, st, 10)
+		row := AblationSplitRow{Policy: pol, InsertUs: float64(insert.Nanoseconds()) / 1000}
+		for band := tpcds.Low; band <= tpcds.High; band++ {
+			qs := pickBand(bins, band, 20, rng)
+			row.BandMs[band] = float64(timeQueries(st, qs).Microseconds()) / 1000
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintAblationSplit renders the comparison.
+func PrintAblationSplit(w io.Writer, rows []AblationSplitRow) {
+	fprintf(w, "# Ablation: node split position policy (Hilbert PDC tree)\n")
+	fprintf(w, "%-14s %12s %10s %10s %10s\n", "policy", "insert(us)", "low(ms)", "med(ms)", "high(ms)")
+	for _, r := range rows {
+		name := "least-overlap"
+		if r.Policy == core.SplitMedian {
+			name = "median"
+		}
+		fprintf(w, "%-14s %12.2f %10.3f %10.3f %10.3f\n", name, r.InsertUs, r.BandMs[0], r.BandMs[1], r.BandMs[2])
+	}
+}
+
+// AblationSyncRow sweeps the image sync interval against staleness
+// (DESIGN.md decision 5).
+type AblationSyncRow struct {
+	Sync        time.Duration
+	MeanAt250ms float64
+	MeanAt1s    float64
+	HorizonMs   int64 // elapsed time at which mean misses < 0.01
+}
+
+// AblationSync runs the PBS model across sync intervals.
+func AblationSync(seed int64) ([]AblationSyncRow, error) {
+	base := pbs.Params{
+		InsertRate:    50000,
+		InsertLatMean: 20 * time.Millisecond,
+		PropMean:      20 * time.Millisecond,
+		PropJitter:    30 * time.Millisecond,
+		ExpandProb:    1e-4,
+		Coverage:      0.5,
+	}
+	var rows []AblationSyncRow
+	for _, s := range []time.Duration{500 * time.Millisecond, time.Second, 3 * time.Second, 10 * time.Second} {
+		p := base
+		p.SyncInterval = s
+		at250, err := pbs.Simulate(p, 250*time.Millisecond, 20000, seed)
+		if err != nil {
+			return nil, err
+		}
+		at1s, err := pbs.Simulate(p, time.Second, 20000, seed)
+		if err != nil {
+			return nil, err
+		}
+		hz, err := pbs.ConsistencyHorizon(p, 0.01, 8000, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationSyncRow{Sync: s, MeanAt250ms: at250.Mean, MeanAt1s: at1s.Mean, HorizonMs: hz.Milliseconds()})
+	}
+	return rows, nil
+}
+
+// PrintAblationSync renders the sweep.
+func PrintAblationSync(w io.Writer, rows []AblationSyncRow) {
+	fprintf(w, "# Ablation: sync interval vs staleness (PBS model)\n")
+	fprintf(w, "%10s %14s %14s %14s\n", "sync", "miss@250ms", "miss@1s", "horizon(ms)")
+	for _, r := range rows {
+		fprintf(w, "%10v %14.4f %14.4f %14d\n", r.Sync, r.MeanAt250ms, r.MeanAt1s, r.HorizonMs)
+	}
+}

@@ -1,0 +1,91 @@
+// Package bench implements the experiment drivers that regenerate every
+// figure of the VOLAP paper's evaluation (§IV). Each driver returns typed
+// rows and can render the same table/series the paper plots; the
+// cmd/volap-bench binary exposes one subcommand per figure and the
+// repository-root benchmarks wrap scaled-down versions.
+//
+// Scaling: the paper ran on 20 EC2 workers with up to a billion items;
+// these drivers default to laptop sizes (see DESIGN.md's scaling note) and
+// accept a multiplier to grow toward paper scale on bigger machines. The
+// claims under reproduction are the *shapes* — which structure wins, by
+// what factor, where the crossovers are — not EC2 absolute numbers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/tpcds"
+)
+
+// Scale multiplies the default workload sizes of every driver.
+type Scale float64
+
+// N applies the scale to a base count, with a floor.
+func (s Scale) N(base int) int {
+	if s <= 0 {
+		s = 1
+	}
+	n := int(float64(base) * float64(s))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// buildStore constructs and fills a shard store by point insertion.
+func buildStore(schema *hierarchy.Schema, kind core.StoreKind, kk keys.Kind, items []core.Item) (core.Store, time.Duration, error) {
+	st, err := core.NewStore(core.Config{Schema: schema, Store: kind, Keys: kk})
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	for _, it := range items {
+		if err := st.Insert(it); err != nil {
+			return nil, 0, err
+		}
+	}
+	return st, time.Since(start), nil
+}
+
+// timeQueries returns the mean latency of the given queries against the
+// store.
+func timeQueries(st core.Store, qs []keys.Rect) time.Duration {
+	if len(qs) == 0 {
+		return 0
+	}
+	h := metrics.NewHistogram()
+	for _, q := range qs {
+		start := time.Now()
+		st.Query(q)
+		h.Record(time.Since(start))
+	}
+	return h.Mean()
+}
+
+// binFor builds per-band query pools against a loaded store.
+func binFor(gen *tpcds.Generator, st core.Store, perBand int) tpcds.BinnedQueries {
+	count := func(q keys.Rect) uint64 { return st.Query(q).Count }
+	return gen.GenerateBinned(count, st.Count(), perBand, perBand*400)
+}
+
+// pickBand selects n queries from a band pool (cycling if needed).
+func pickBand(b tpcds.BinnedQueries, band tpcds.Band, n int, rng *rand.Rand) []keys.Rect {
+	out := make([]keys.Rect, n)
+	for i := range out {
+		out[i] = b.Pick(rng, band)
+	}
+	return out
+}
+
+// fprintf writes a formatted row, ignoring I/O errors (drivers write to
+// stdout or a buffer).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

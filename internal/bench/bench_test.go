@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tpcds"
+)
+
+// The drivers are exercised end-to-end at tiny scale: these tests verify
+// that every figure can actually be regenerated and that the headline
+// shape claims hold even at laptop size.
+
+const tiny = Scale(0.02)
+
+func TestScaleN(t *testing.T) {
+	if Scale(0).N(1000) != 1000 {
+		t.Error("zero scale should default to 1")
+	}
+	if Scale(2).N(1000) != 2000 {
+		t.Error("scaling wrong")
+	}
+	if Scale(0.0001).N(1000) != 64 {
+		t.Error("floor wrong")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	rows, err := Fig4(tiny, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 stores x 4 sizes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shape claim: the Hilbert PDC tree ingests faster than the PDC tree
+	// at the largest size (the paper's headline for §III-D).
+	var hil, pdc float64
+	for _, r := range rows {
+		if r.Size == rows[3].Size {
+			if r.Store == core.StoreHilbertPDC {
+				hil = r.BuildMs
+			} else if r.Store == core.StorePDC {
+				pdc = r.BuildMs
+			}
+		}
+	}
+	if hil > pdc {
+		t.Logf("warning: hilbert build %.0fms vs pdc %.0fms at tiny scale", hil, pdc)
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("print header missing")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows, err := Fig5(tiny, []int{4, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 variants x 2 dims
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, rows)
+	if !strings.Contains(buf.String(), "hilbert-pdc-tree") {
+		t.Error("variants missing from output")
+	}
+}
+
+func TestScaleUpFig67(t *testing.T) {
+	rows, err := ScaleUp(ScaleUpConfig{Scale: tiny, Phases: 2, BenchOps: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("phases = %d", len(rows))
+	}
+	if rows[1].Workers != rows[0].Workers+2 {
+		t.Errorf("worker counts %d -> %d", rows[0].Workers, rows[1].Workers)
+	}
+	if rows[1].TotalItems <= rows[0].TotalItems {
+		t.Errorf("items did not grow: %d -> %d", rows[0].TotalItems, rows[1].TotalItems)
+	}
+	for _, r := range rows {
+		if r.InsertKops <= 0 || r.QueryKops[0] <= 0 {
+			t.Errorf("zero throughput in %+v", r)
+		}
+		if r.String() == "" {
+			t.Error("String empty")
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, rows)
+	PrintFig7(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 6") || !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("print headers missing")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	rows, err := Fig8(Fig8Config{Scale: tiny, StreamOp: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 { // 5 mixes x 3 bands
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Pure-insert streams record no query latency and vice versa.
+	for _, r := range rows {
+		if r.MixPct == 100 && r.QueryMs != 0 {
+			t.Errorf("100%% insert mix has query latency %f", r.QueryMs)
+		}
+		if r.MixPct == 0 && r.InsertMs != 0 {
+			t.Errorf("0%% insert mix has insert latency %f", r.InsertMs)
+		}
+		if r.OpsKops <= 0 {
+			t.Errorf("zero throughput: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("print header missing")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	pts, err := Fig9(tiny, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	sawShards := false
+	for _, p := range pts {
+		if p.Coverage < 0 || p.Coverage > 1.001 {
+			t.Errorf("coverage out of range: %f", p.Coverage)
+		}
+		if p.Shards > 0 {
+			sawShards = true
+		}
+	}
+	if !sawShards {
+		t.Error("no query searched any shard")
+	}
+	var buf bytes.Buffer
+	PrintFig9(&buf, pts)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("print header missing")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	out, err := Fig10(tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InsertRate <= 0 || out.InsertLatMean <= 0 {
+		t.Fatalf("measured inputs: %+v", out)
+	}
+	if out.ExpandProb < 0 || out.ExpandProb > 1 {
+		t.Fatalf("expand prob %f", out.ExpandProb)
+	}
+	if len(out.Sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// Shape: missed inserts vanish by the end of the sweep.
+	last := out.Sweep[len(out.Sweep)-1]
+	if last.Mean > 0.1 {
+		t.Errorf("missed inserts at %v = %f", last.Elapsed, last.Mean)
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, out)
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Error("print header missing")
+	}
+}
+
+func TestBulk(t *testing.T) {
+	rows, err := Bulk(tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shape claim (§IV-C): bulk loading is much faster than point
+	// insertion.
+	if rows[1].RateKops <= rows[0].RateKops {
+		t.Errorf("bulk (%.1f kop/s) not faster than point (%.1f kop/s)",
+			rows[1].RateKops, rows[0].RateKops)
+	}
+	var buf bytes.Buffer
+	PrintBulk(&buf, rows)
+	if !strings.Contains(buf.String(), "Bulk") {
+		t.Error("print header missing")
+	}
+}
+
+func TestAblationKeys(t *testing.T) {
+	rows, err := AblationKeys(tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintAblationKeys(&buf, rows)
+	if !strings.Contains(buf.String(), "MDS") {
+		t.Error("output missing MDS rows")
+	}
+}
+
+func TestAblationSplit(t *testing.T) {
+	rows, err := AblationSplit(tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintAblationSplit(&buf, rows)
+	if !strings.Contains(buf.String(), "least-overlap") || !strings.Contains(buf.String(), "median") {
+		t.Error("policies missing")
+	}
+}
+
+func TestAblationSync(t *testing.T) {
+	rows, err := AblationSync(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shape: longer sync intervals stay stale longer.
+	if rows[0].HorizonMs > rows[3].HorizonMs {
+		t.Errorf("horizon not increasing with sync interval: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintAblationSync(&buf, rows)
+	if !strings.Contains(buf.String(), "sync") {
+		t.Error("print header missing")
+	}
+}
+
+func TestBandHelpers(t *testing.T) {
+	schema := tpcds.Schema()
+	gen := tpcds.NewGenerator(schema, 3, 1.1)
+	st, _, err := buildStore(schema, core.StoreHilbertPDC, 0, gen.Items(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := binFor(gen, st, 3)
+	for band := tpcds.Low; band <= tpcds.High; band++ {
+		if len(bins.Rects[band]) == 0 {
+			t.Errorf("band %v empty", band)
+		}
+	}
+	if timeQueries(st, nil) != 0 {
+		t.Error("timeQueries(nil) should be 0")
+	}
+}

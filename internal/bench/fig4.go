@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/tpcds"
+)
+
+// Fig4Row is one point of Figure 4: query time of a single tree at a
+// given size, per coverage band, for the Hilbert PDC tree vs the PDC
+// tree.
+type Fig4Row struct {
+	Store   core.StoreKind
+	Size    int
+	BandMs  [3]float64 // low, medium, high mean query latency (ms)
+	BuildMs float64
+}
+
+// Fig4 reproduces Figure 4: "Query performance of Hilbert PDC tree vs.
+// PDC tree for various query coverages" over growing tree sizes, TPC-DS
+// data, one tree (single worker in the paper). Paper sizes are 1M–10M;
+// base sizes here are 25k–150k × scale.
+func Fig4(scale Scale, queriesPerBand int, seed int64) ([]Fig4Row, error) {
+	schema := tpcds.Schema()
+	sizes := []int{scale.N(25000), scale.N(50000), scale.N(100000), scale.N(150000)}
+	rng := rand.New(rand.NewSource(seed))
+	var rows []Fig4Row
+	for _, kind := range []core.StoreKind{core.StoreHilbertPDC, core.StorePDC} {
+		for _, n := range sizes {
+			gen := tpcds.NewGenerator(schema, seed, 1.1)
+			items := gen.Items(n)
+			st, build, err := buildStore(schema, kind, keys.MDS, items)
+			if err != nil {
+				return nil, err
+			}
+			bins := binFor(gen, st, queriesPerBand)
+			row := Fig4Row{Store: kind, Size: n, BuildMs: float64(build.Milliseconds())}
+			for band := tpcds.Low; band <= tpcds.High; band++ {
+				qs := pickBand(bins, band, queriesPerBand, rng)
+				row.BandMs[band] = float64(timeQueries(st, qs).Microseconds()) / 1000
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig4 renders the rows as the paper's series.
+func PrintFig4(w io.Writer, rows []Fig4Row) {
+	fprintf(w, "# Figure 4: query time vs tree size (TPC-DS, single tree)\n")
+	fprintf(w, "%-12s %10s %12s %12s %12s %10s\n", "store", "size", "low(ms)", "medium(ms)", "high(ms)", "build(ms)")
+	for _, r := range rows {
+		fprintf(w, "%-12s %10d %12.3f %12.3f %12.3f %10.0f\n",
+			r.Store, r.Size, r.BandMs[0], r.BandMs[1], r.BandMs[2], r.BuildMs)
+	}
+}

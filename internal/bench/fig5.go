@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+	"repro/internal/rtree"
+	"repro/internal/tpcds"
+)
+
+// Fig5Variant names one of the four tree variants of Figure 5.
+type Fig5Variant string
+
+// The four variants compared in Figure 5.
+const (
+	VariantRTree      Fig5Variant = "r-tree"
+	VariantHilbertRT  Fig5Variant = "hilbert-r-tree"
+	VariantPDC        Fig5Variant = "pdc-tree"
+	VariantHilbertPDC Fig5Variant = "hilbert-pdc-tree"
+)
+
+// Fig5Row is one point of Figure 5: insert and query latency at a given
+// dimension count.
+type Fig5Row struct {
+	Variant  Fig5Variant
+	Dims     int
+	InsertUs float64 // mean insert latency (µs)
+	QueryMs  float64 // mean query latency (ms)
+}
+
+// Fig5 reproduces Figure 5: "Performance of tree variants as the number
+// of dimensions is increased" — R-tree, Hilbert R-tree, PDC tree and
+// Hilbert PDC tree, d = 4…64, synthetic uniform hierarchies.
+func Fig5(scale Scale, dims []int, seed int64) ([]Fig5Row, error) {
+	if len(dims) == 0 {
+		dims = []int{4, 8, 16, 32, 48, 64}
+	}
+	n := scale.N(10000)
+	queries := 20
+	var rows []Fig5Row
+	for _, d := range dims {
+		schema := tpcds.SyntheticSchema(d, 2, 8)
+		gen := tpcds.NewGenerator(schema, seed, 1.0)
+		items := gen.Items(n)
+		qs := makeFig5Queries(schema, gen, queries)
+
+		for _, variant := range []Fig5Variant{VariantRTree, VariantHilbertRT, VariantPDC, VariantHilbertPDC} {
+			insert, query, err := runFig5Variant(variant, schema, items, qs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{
+				Variant:  variant,
+				Dims:     d,
+				InsertUs: float64(insert.Nanoseconds()) / 1000,
+				QueryMs:  float64(query.Microseconds()) / 1000,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// makeFig5Queries draws mid-level queries that exercise pruning.
+func makeFig5Queries(schema *hierarchy.Schema, gen *tpcds.Generator, n int) []keys.Rect {
+	out := make([]keys.Rect, 0, n)
+	for len(out) < n {
+		out = append(out, gen.Query())
+	}
+	return out
+}
+
+func runFig5Variant(v Fig5Variant, schema *hierarchy.Schema, items []core.Item, qs []keys.Rect) (insertMean, queryMean time.Duration, err error) {
+	switch v {
+	case VariantRTree, VariantHilbertRT:
+		kind := rtree.Classic
+		if v == VariantHilbertRT {
+			kind = rtree.HilbertRT
+		}
+		t, err := rtree.New(rtree.Config{Schema: schema, Kind: kind})
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		for _, it := range items {
+			if err := t.Insert(it); err != nil {
+				return 0, 0, err
+			}
+		}
+		insertMean = time.Since(start) / time.Duration(len(items))
+		start = time.Now()
+		for _, q := range qs {
+			t.Query(q)
+		}
+		queryMean = time.Since(start) / time.Duration(len(qs))
+		return insertMean, queryMean, nil
+	default:
+		kind := core.StorePDC
+		if v == VariantHilbertPDC {
+			kind = core.StoreHilbertPDC
+		}
+		st, build, err := buildStore(schema, kind, keys.MDS, items)
+		if err != nil {
+			return 0, 0, err
+		}
+		insertMean = build / time.Duration(len(items))
+		start := time.Now()
+		for _, q := range qs {
+			st.Query(q)
+		}
+		queryMean = time.Since(start) / time.Duration(len(qs))
+		return insertMean, queryMean, nil
+	}
+}
+
+// PrintFig5 renders the rows as the paper's two panels.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	fprintf(w, "# Figure 5: tree variants vs dimension count\n")
+	fprintf(w, "%-18s %6s %14s %14s\n", "variant", "dims", "insert(us)", "query(ms)")
+	for _, r := range rows {
+		fprintf(w, "%-18s %6d %14.2f %14.3f\n", r.Variant, r.Dims, r.InsertUs, r.QueryMs)
+	}
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	volap "repro"
+
+	"repro/internal/metrics"
+	"repro/internal/tpcds"
+)
+
+// ScaleUpPhase is one phase of the horizontal scale-up experiment behind
+// Figures 6 and 7: two workers are added, the load balancer redistributes
+// shards, a batch of new data is loaded, and insert/query performance is
+// measured at the new size.
+type ScaleUpPhase struct {
+	Phase      int
+	Workers    int
+	TotalItems uint64
+	// PreMin/PreMax: per-worker band right after new empty workers join
+	// (the paper's "minimum goes to zero" dip in Figure 6).
+	PreMin, PreMax uint64
+	// MinWorker/MaxWorker: the band after the balancer has converged.
+	MinWorker  uint64
+	MaxWorker  uint64
+	Splits     uint64 // cumulative
+	Migrations uint64 // cumulative
+	ElapsedS   float64
+
+	InsertKops float64
+	InsertMs   float64
+	QueryKops  [3]float64
+	QueryMs    [3]float64
+}
+
+// ScaleUpConfig tunes the experiment.
+type ScaleUpConfig struct {
+	Scale       Scale
+	Phases      int // default 5
+	StartWorker int // default 2
+	AddPerPhase int // default 2
+	Servers     int // default 2 (the paper's m = 2)
+	Seed        int64
+	BenchOps    int // ops per measurement (default 2000)
+}
+
+func (c *ScaleUpConfig) defaults() {
+	if c.Phases <= 0 {
+		c.Phases = 5
+	}
+	if c.StartWorker <= 0 {
+		c.StartWorker = 2
+	}
+	if c.AddPerPhase <= 0 {
+		c.AddPerPhase = 2
+	}
+	if c.Servers <= 0 {
+		c.Servers = 2
+	}
+	if c.BenchOps <= 0 {
+		c.BenchOps = 2000
+	}
+}
+
+// ScaleUp reproduces the experiment of Figures 6 and 7: load phases
+// interleaved with insert and query benchmarking phases, two workers
+// added per phase (paper: N ≈ p × 50M, p = 4…20, m = 2; here the phase
+// size defaults to 10k × scale).
+func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
+	cfg.defaults()
+	schema := tpcds.Schema()
+	opts := volap.DefaultOptions(schema)
+	opts.Workers = cfg.StartWorker
+	opts.Servers = cfg.Servers
+	opts.ShardsPerWorker = 4
+	opts.SyncInterval = 100 * time.Millisecond
+	opts.StatsInterval = 50 * time.Millisecond
+	opts.BalanceInterval = -1 // phases drive balancing explicitly
+	opts.MinMoveItems = 256
+	cluster, err := volap.Start(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	cl, err := cluster.Client()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	gen := tpcds.NewGenerator(schema, cfg.Seed, 1.1)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	phaseItems := cfg.Scale.N(10000)
+	start := time.Now()
+
+	var phases []ScaleUpPhase
+	for phase := 0; phase < cfg.Phases; phase++ {
+		var preMin, preMax uint64
+		if phase > 0 {
+			for a := 0; a < cfg.AddPerPhase; a++ {
+				if _, err := cluster.AddWorker(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Let worker stats land, record the post-expansion dip, then
+		// balance to quiescence.
+		time.Sleep(120 * time.Millisecond)
+		if _, loads, err := cluster.WorkerLoads(); err == nil {
+			preMin, preMax = minMax(loads)
+		}
+		for i := 0; i < 40; i++ {
+			ops, err := cluster.RunBalancePass()
+			if err != nil {
+				return nil, err
+			}
+			if ops == 0 && i > 0 {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// Load phase: bulk ingest this phase's data.
+		items := gen.Items(phaseItems)
+		for off := 0; off < len(items); off += 2000 {
+			end := off + 2000
+			if end > len(items) {
+				end = len(items)
+			}
+			if err := cl.BulkLoad(items[off:end]); err != nil {
+				return nil, err
+			}
+		}
+		cluster.SyncAll()
+
+		// Benchmark phase (Figure 7): point inserts, then per-band queries.
+		row := ScaleUpPhase{
+			Phase: phase, Workers: cluster.NumWorkers(),
+			PreMin: preMin, PreMax: preMax,
+			ElapsedS: time.Since(start).Seconds(),
+		}
+		insH := metrics.NewHistogram()
+		insStart := time.Now()
+		for i := 0; i < cfg.BenchOps; i++ {
+			it := gen.Item()
+			t0 := time.Now()
+			if err := cl.Insert(it); err != nil {
+				return nil, err
+			}
+			insH.Record(time.Since(t0))
+		}
+		insWall := time.Since(insStart).Seconds()
+		row.InsertKops = float64(cfg.BenchOps) / insWall / 1000
+		row.InsertMs = float64(insH.Mean().Microseconds()) / 1000
+
+		count := func(q volap.Rect) uint64 {
+			agg, _, err := cl.Query(q)
+			if err != nil {
+				return 0
+			}
+			return agg.Count
+		}
+		total, _, _ := cl.Query(volap.AllRect(schema))
+		bins := gen.GenerateBinned(count, total.Count, 10, 3000)
+		qOps := cfg.BenchOps / 4
+		for band := tpcds.Low; band <= tpcds.High; band++ {
+			qH := metrics.NewHistogram()
+			qStart := time.Now()
+			for i := 0; i < qOps; i++ {
+				q := bins.Pick(rng, band)
+				t0 := time.Now()
+				if _, _, err := cl.Query(q); err != nil {
+					return nil, err
+				}
+				qH.Record(time.Since(t0))
+			}
+			wall := time.Since(qStart).Seconds()
+			row.QueryKops[band] = float64(qOps) / wall / 1000
+			row.QueryMs[band] = float64(qH.Mean().Microseconds()) / 1000
+		}
+
+		// Figure 6 bookkeeping: worker min/max and balancer counters.
+		_, loads, err := cluster.WorkerLoads()
+		if err != nil {
+			return nil, err
+		}
+		row.MinWorker, row.MaxWorker = minMax(loads)
+		for _, n := range loads {
+			row.TotalItems += n
+		}
+		st := cluster.BalanceStats()
+		row.Splits, row.Migrations = st.Splits, st.Migrations
+		phases = append(phases, row)
+	}
+	return phases, nil
+}
+
+func minMax(ns []uint64) (lo, hi uint64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	lo = ns[0]
+	for _, n := range ns {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	return lo, hi
+}
+
+// PrintFig6 renders the load-balancing view of the scale-up run.
+func PrintFig6(w io.Writer, phases []ScaleUpPhase) {
+	fprintf(w, "# Figure 6: load balancing during horizontal scale-up (m=2)\n")
+	fprintf(w, "# pre-min/pre-max: right after empty workers join (the paper's min->0 dip);\n")
+	fprintf(w, "# min/max: after the balancer converges.\n")
+	fprintf(w, "%5s %8s %10s %9s %9s %9s %9s %8s %11s %9s\n",
+		"phase", "workers", "items", "pre-min", "pre-max", "min", "max", "splits", "migrations", "time(s)")
+	for _, p := range phases {
+		fprintf(w, "%5d %8d %10d %9d %9d %9d %9d %8d %11d %9.1f\n",
+			p.Phase, p.Workers, p.TotalItems, p.PreMin, p.PreMax, p.MinWorker, p.MaxWorker, p.Splits, p.Migrations, p.ElapsedS)
+	}
+}
+
+// PrintFig7 renders the throughput/latency view of the scale-up run.
+func PrintFig7(w io.Writer, phases []ScaleUpPhase) {
+	fprintf(w, "# Figure 7: insert/query performance with increasing system size\n")
+	fprintf(w, "%10s %8s | %9s %9s | %9s %9s %9s | %9s %9s %9s\n",
+		"items", "workers", "ins kop/s", "ins ms", "qlow k/s", "qmed k/s", "qhigh k/s", "qlow ms", "qmed ms", "qhigh ms")
+	for _, p := range phases {
+		fprintf(w, "%10d %8d | %9.2f %9.3f | %9.2f %9.2f %9.2f | %9.3f %9.3f %9.3f\n",
+			p.TotalItems, p.Workers, p.InsertKops, p.InsertMs,
+			p.QueryKops[0], p.QueryKops[1], p.QueryKops[2],
+			p.QueryMs[0], p.QueryMs[1], p.QueryMs[2])
+	}
+}
+
+// String summarizes one phase (used by examples).
+func (p ScaleUpPhase) String() string {
+	return fmt.Sprintf("phase %d: p=%d N=%d min=%d max=%d splits=%d migs=%d",
+		p.Phase, p.Workers, p.TotalItems, p.MinWorker, p.MaxWorker, p.Splits, p.Migrations)
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	volap "repro"
+
+	"repro/internal/metrics"
+	"repro/internal/tpcds"
+)
+
+// Fig8Row is one point of Figure 8: performance at a fixed database size
+// for one workload mix (insert percentage) and one coverage band.
+type Fig8Row struct {
+	MixPct   int // percentage of inserts in the operation stream
+	Band     tpcds.Band
+	OpsKops  float64 // overall operations/second (thousands)
+	QueryMs  float64 // mean query latency
+	InsertMs float64 // mean insert latency
+}
+
+// Fig8Config tunes the workload-mix experiment.
+type Fig8Config struct {
+	Scale    Scale
+	Workers  int // default 4
+	Servers  int // default 2
+	Preload  int // items before measuring (default 40000 x scale)
+	StreamOp int // operations per (mix, band) stream (default 2000)
+	Seed     int64
+}
+
+// Fig8 reproduces Figure 8: "Performance for various workload mixes and
+// query coverages", fixed database size (paper: N = 1 billion, p = 20,
+// m = 2; defaults here: 40k x scale, p = 4, m = 2).
+func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 2
+	}
+	if cfg.Preload <= 0 {
+		cfg.Preload = cfg.Scale.N(40000)
+	}
+	if cfg.StreamOp <= 0 {
+		cfg.StreamOp = 2000
+	}
+	schema := tpcds.Schema()
+	opts := volap.DefaultOptions(schema)
+	opts.Workers = cfg.Workers
+	opts.Servers = cfg.Servers
+	opts.SyncInterval = 100 * time.Millisecond
+	opts.BalanceInterval = 200 * time.Millisecond
+	cluster, err := volap.Start(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+	cl, err := cluster.Client()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	gen := tpcds.NewGenerator(schema, cfg.Seed, 1.1)
+	for off := 0; off < cfg.Preload; off += 2000 {
+		end := off + 2000
+		if end > cfg.Preload {
+			end = cfg.Preload
+		}
+		if err := cl.BulkLoad(gen.Items(end - off)); err != nil {
+			return nil, err
+		}
+	}
+	cluster.SyncAll()
+
+	count := func(q volap.Rect) uint64 {
+		agg, _, err := cl.Query(q)
+		if err != nil {
+			return 0
+		}
+		return agg.Count
+	}
+	total, _, _ := cl.Query(volap.AllRect(schema))
+	bins := gen.GenerateBinned(count, total.Count, 10, 3000)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	var rows []Fig8Row
+	for _, mix := range []int{0, 25, 50, 75, 100} {
+		for band := tpcds.Low; band <= tpcds.High; band++ {
+			insH, qryH := metrics.NewHistogram(), metrics.NewHistogram()
+			start := time.Now()
+			for op := 0; op < cfg.StreamOp; op++ {
+				if rng.Intn(100) < mix {
+					it := gen.Item()
+					t0 := time.Now()
+					if err := cl.Insert(it); err != nil {
+						return nil, err
+					}
+					insH.Record(time.Since(t0))
+				} else {
+					q := bins.Pick(rng, band)
+					t0 := time.Now()
+					if _, _, err := cl.Query(q); err != nil {
+						return nil, err
+					}
+					qryH.Record(time.Since(t0))
+				}
+			}
+			wall := time.Since(start).Seconds()
+			rows = append(rows, Fig8Row{
+				MixPct:   mix,
+				Band:     band,
+				OpsKops:  float64(cfg.StreamOp) / wall / 1000,
+				QueryMs:  float64(qryH.Mean().Microseconds()) / 1000,
+				InsertMs: float64(insH.Mean().Microseconds()) / 1000,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig8 renders the rows as the paper's two panels.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fprintf(w, "# Figure 8: workload mix x coverage at fixed database size\n")
+	fprintf(w, "%6s %-8s %12s %12s %12s\n", "mix%", "band", "ops(kop/s)", "query(ms)", "insert(ms)")
+	for _, r := range rows {
+		fprintf(w, "%6d %-8s %12.2f %12.3f %12.3f\n", r.MixPct, r.Band, r.OpsKops, r.QueryMs, r.InsertMs)
+	}
+}
+
+// Fig9Point is one query observation of Figure 9's heat maps.
+type Fig9Point struct {
+	Coverage float64
+	MS       float64
+	Shards   int
+}
+
+// Fig9 reproduces Figure 9: per-query time and shards searched as a
+// function of true coverage (paper: N = 1 billion, p = 20).
+func Fig9(scale Scale, queries int, seed int64) ([]Fig9Point, error) {
+	if queries <= 0 {
+		queries = 800
+	}
+	schema := tpcds.Schema()
+	opts := volap.DefaultOptions(schema)
+	opts.Workers = 4
+	opts.Servers = 1
+	opts.SyncInterval = 100 * time.Millisecond
+	opts.BalanceInterval = 200 * time.Millisecond
+	cluster, err := volap.Start(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+	cl, err := cluster.Client()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	gen := tpcds.NewGenerator(schema, seed, 1.1)
+	n := scale.N(40000)
+	for off := 0; off < n; off += 2000 {
+		end := off + 2000
+		if end > n {
+			end = n
+		}
+		if err := cl.BulkLoad(gen.Items(end - off)); err != nil {
+			return nil, err
+		}
+	}
+	// Give the balancer a moment so shards are spread, then measure.
+	time.Sleep(300 * time.Millisecond)
+	cluster.SyncAll()
+
+	total, _, err := cl.Query(volap.AllRect(schema))
+	if err != nil {
+		return nil, err
+	}
+	var pts []Fig9Point
+	for i := 0; i < queries; i++ {
+		q := gen.Query()
+		t0 := time.Now()
+		agg, info, err := cl.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		lat := time.Since(t0)
+		cov := 0.0
+		if total.Count > 0 {
+			cov = float64(agg.Count) / float64(total.Count)
+		}
+		pts = append(pts, Fig9Point{Coverage: cov, MS: float64(lat.Microseconds()) / 1000, Shards: info.ShardsSearched})
+	}
+	return pts, nil
+}
+
+// PrintFig9 renders per-coverage-decile summaries of both heat maps.
+func PrintFig9(w io.Writer, pts []Fig9Point) {
+	fprintf(w, "# Figure 9: effect of coverage on query time and shards searched\n")
+	fprintf(w, "%12s %8s %10s %10s %10s %12s\n", "coverage", "queries", "p50(ms)", "p95(ms)", "max(ms)", "avg shards")
+	for decile := 0; decile < 10; decile++ {
+		lo, hi := float64(decile)/10, float64(decile+1)/10
+		var lats []float64
+		var shards, count int
+		for _, p := range pts {
+			if p.Coverage >= lo && (p.Coverage < hi || (decile == 9 && p.Coverage <= 1.0)) {
+				lats = append(lats, p.MS)
+				shards += p.Shards
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		sort.Float64s(lats)
+		fprintf(w, "%5.0f%%-%3.0f%% %8d %10.3f %10.3f %10.3f %12.1f\n",
+			lo*100, hi*100, count,
+			lats[len(lats)/2], lats[int(float64(len(lats))*0.95)], lats[len(lats)-1],
+			float64(shards)/float64(count))
+	}
+}

@@ -1,0 +1,401 @@
+package coord
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netmsg"
+	"repro/internal/wire"
+)
+
+// Coordinator is the API shared by the embedded Store and the remote
+// Client, so every VOLAP component runs identically in-process and
+// distributed.
+type Coordinator interface {
+	Create(path string, data []byte) (int64, error)
+	Set(path string, data []byte, expected int64) (int64, error)
+	CreateOrSet(path string, data []byte) (int64, error)
+	Get(path string) ([]byte, int64, error)
+	Exists(path string) bool
+	Children(path string) ([]string, error)
+	Delete(path string, expected int64) error
+	Snapshot(prefix string) (map[string][]byte, uint64)
+	EventsSince(since uint64, prefix string, limit int, timeout time.Duration) ([]Event, uint64, error)
+}
+
+var (
+	_ Coordinator = (*Store)(nil)
+	_ Coordinator = (*Client)(nil)
+)
+
+// Serve exposes the store over netmsg at addr and returns the server and
+// its bound address.
+func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
+	srv := netmsg.NewServer()
+	srv.Handle("coord.create", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path, data := r.String(), r.Bytes1()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v, err := s.Create(path, data)
+		return versionReply(v), err
+	})
+	srv.Handle("coord.set", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path, data, expected := r.String(), r.Bytes1(), r.Varint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v, err := s.Set(path, data, expected)
+		return versionReply(v), err
+	})
+	srv.Handle("coord.createorset", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path, data := r.String(), r.Bytes1()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v, err := s.CreateOrSet(path, data)
+		return versionReply(v), err
+	})
+	srv.Handle("coord.get", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		data, v, err := s.Get(path)
+		if err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(len(data) + 12)
+		w.Varint(v)
+		w.Bytes1(data)
+		return w.Bytes(), nil
+	})
+	srv.Handle("coord.exists", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		w := wire.NewWriter(1)
+		w.Bool(s.Exists(path))
+		return w.Bytes(), nil
+	})
+	srv.Handle("coord.children", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		names, err := s.Children(path)
+		if err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(64)
+		w.Uvarint(uint64(len(names)))
+		for _, n := range names {
+			w.String(n)
+		}
+		return w.Bytes(), nil
+	})
+	srv.Handle("coord.delete", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path, expected := r.String(), r.Varint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, s.Delete(path, expected)
+	})
+	srv.Handle("coord.snapshot", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		prefix := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		snap, seq := s.Snapshot(prefix)
+		w := wire.NewWriter(256)
+		w.Uint64(seq)
+		w.Uvarint(uint64(len(snap)))
+		for path, data := range snap {
+			w.String(path)
+			w.Bytes1(data)
+		}
+		return w.Bytes(), nil
+	})
+	srv.Handle("coord.events", func(p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		since := r.Uint64()
+		prefix := r.String()
+		limit := int(r.Uvarint())
+		timeout := time.Duration(r.Uvarint()) * time.Millisecond
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		evs, cursor, err := s.EventsSince(since, prefix, limit, timeout)
+		if err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(256)
+		w.Uint64(cursor)
+		w.Uvarint(uint64(len(evs)))
+		for _, ev := range evs {
+			w.Uint64(ev.Seq)
+			w.Uint8(uint8(ev.Type))
+			w.String(ev.Path)
+			w.Bytes1(ev.Data)
+			w.Varint(ev.Version)
+		}
+		return w.Bytes(), nil
+	})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+func versionReply(v int64) []byte {
+	w := wire.NewWriter(10)
+	w.Varint(v)
+	return w.Bytes()
+}
+
+// Client is a remote Coordinator over netmsg.
+type Client struct {
+	c *netmsg.Client
+}
+
+// DialClient connects to a served store.
+func DialClient(addr string) (*Client, error) {
+	c, err := netmsg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() { c.c.Close() }
+
+// mapRemoteError rehydrates the store's sentinel errors so errors.Is
+// works across the wire.
+func mapRemoteError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *netmsg.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	for _, sentinel := range []error{ErrNoNode, ErrNodeExists, ErrBadVersion, ErrCompacted, ErrBadPath, ErrStoreClosed} {
+		if strings.HasPrefix(re.Msg, sentinel.Error()) {
+			return sentinel
+		}
+	}
+	return err
+}
+
+// Create implements Coordinator.
+func (c *Client) Create(path string, data []byte) (int64, error) {
+	w := wire.NewWriter(len(path) + len(data) + 8)
+	w.String(path)
+	w.Bytes1(data)
+	resp, err := c.c.Request("coord.create", w.Bytes())
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	return wire.NewReader(resp).Varint(), nil
+}
+
+// Set implements Coordinator.
+func (c *Client) Set(path string, data []byte, expected int64) (int64, error) {
+	w := wire.NewWriter(len(path) + len(data) + 16)
+	w.String(path)
+	w.Bytes1(data)
+	w.Varint(expected)
+	resp, err := c.c.Request("coord.set", w.Bytes())
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	return wire.NewReader(resp).Varint(), nil
+}
+
+// CreateOrSet implements Coordinator.
+func (c *Client) CreateOrSet(path string, data []byte) (int64, error) {
+	w := wire.NewWriter(len(path) + len(data) + 8)
+	w.String(path)
+	w.Bytes1(data)
+	resp, err := c.c.Request("coord.createorset", w.Bytes())
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	return wire.NewReader(resp).Varint(), nil
+}
+
+// Get implements Coordinator.
+func (c *Client) Get(path string) ([]byte, int64, error) {
+	w := wire.NewWriter(len(path) + 4)
+	w.String(path)
+	resp, err := c.c.Request("coord.get", w.Bytes())
+	if err != nil {
+		return nil, 0, mapRemoteError(err)
+	}
+	r := wire.NewReader(resp)
+	v := r.Varint()
+	data := r.Bytes1()
+	return data, v, r.Err()
+}
+
+// Exists implements Coordinator.
+func (c *Client) Exists(path string) bool {
+	w := wire.NewWriter(len(path) + 4)
+	w.String(path)
+	resp, err := c.c.Request("coord.exists", w.Bytes())
+	if err != nil {
+		return false
+	}
+	return wire.NewReader(resp).Bool()
+}
+
+// Children implements Coordinator.
+func (c *Client) Children(path string) ([]string, error) {
+	w := wire.NewWriter(len(path) + 4)
+	w.String(path)
+	resp, err := c.c.Request("coord.children", w.Bytes())
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	r := wire.NewReader(resp)
+	n := r.Uvarint()
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		names = append(names, r.String())
+	}
+	return names, r.Err()
+}
+
+// Delete implements Coordinator.
+func (c *Client) Delete(path string, expected int64) error {
+	w := wire.NewWriter(len(path) + 12)
+	w.String(path)
+	w.Varint(expected)
+	_, err := c.c.Request("coord.delete", w.Bytes())
+	return mapRemoteError(err)
+}
+
+// Snapshot implements Coordinator. A transport failure yields an empty
+// snapshot at cursor 0, which a watcher treats as "retry".
+func (c *Client) Snapshot(prefix string) (map[string][]byte, uint64) {
+	w := wire.NewWriter(len(prefix) + 4)
+	w.String(prefix)
+	resp, err := c.c.Request("coord.snapshot", w.Bytes())
+	if err != nil {
+		return nil, 0
+	}
+	r := wire.NewReader(resp)
+	seq := r.Uint64()
+	n := r.Uvarint()
+	out := make(map[string][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		path := r.String()
+		out[path] = r.Bytes1()
+	}
+	if r.Err() != nil {
+		return nil, 0
+	}
+	return out, seq
+}
+
+// EventsSince implements Coordinator via long-polling.
+func (c *Client) EventsSince(since uint64, prefix string, limit int, timeout time.Duration) ([]Event, uint64, error) {
+	w := wire.NewWriter(len(prefix) + 24)
+	w.Uint64(since)
+	w.String(prefix)
+	w.Uvarint(uint64(limit))
+	w.Uvarint(uint64(timeout / time.Millisecond))
+	// Give the transport twice the poll window before declaring failure.
+	netTimeout := 2*timeout + 5*time.Second
+	resp, err := c.c.RequestTimeout("coord.events", w.Bytes(), netTimeout)
+	if err != nil {
+		return nil, since, mapRemoteError(err)
+	}
+	r := wire.NewReader(resp)
+	cursor := r.Uint64()
+	n := r.Uvarint()
+	evs := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		evs = append(evs, Event{
+			Seq:     r.Uint64(),
+			Type:    EventType(r.Uint8()),
+			Path:    r.String(),
+			Data:    r.Bytes1(),
+			Version: r.Varint(),
+		})
+	}
+	return evs, cursor, r.Err()
+}
+
+// Watcher streams events under a prefix to a callback, in order, from a
+// background goroutine. On log compaction (a watcher that fell too far
+// behind) OnReset is invoked so the owner can resync from Snapshot.
+type Watcher struct {
+	OnEvent func(Event)
+	OnReset func(snapshot map[string][]byte)
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewWatcher starts watching prefix from the given cursor.
+func NewWatcher(c Coordinator, prefix string, since uint64, onEvent func(Event), onReset func(map[string][]byte)) *Watcher {
+	w := &Watcher{OnEvent: onEvent, OnReset: onReset, stop: make(chan struct{}), done: make(chan struct{})}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer close(w.done)
+		cursor := since
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+			}
+			evs, next, err := c.EventsSince(cursor, prefix, 1024, 500*time.Millisecond)
+			switch {
+			case err == nil:
+				cursor = next
+				for _, ev := range evs {
+					w.OnEvent(ev)
+				}
+			case errors.Is(err, ErrCompacted):
+				snap, seq := c.Snapshot(prefix)
+				cursor = seq
+				if w.OnReset != nil {
+					w.OnReset(snap)
+				}
+			case errors.Is(err, ErrStoreClosed):
+				return
+			default:
+				// Transient transport failure: back off briefly.
+				select {
+				case <-w.stop:
+					return
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop terminates the watch loop and waits for it to exit.
+func (w *Watcher) Stop() {
+	close(w.stop)
+	w.wg.Wait()
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestConcurrentInsertQuery runs writers and readers against every tree
+// variant simultaneously and then verifies conservation: the quiescent
+// tree contains exactly the inserted items and all structural invariants
+// hold. Run with -race to exercise the locking protocol.
+func TestConcurrentInsertQuery(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		if cfg.Store == StoreArray {
+			continue // trivially coarse-locked; covered implicitly below
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := NewStore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				writers   = 4
+				readers   = 3
+				perWriter = 2000
+			)
+			var wWg, rWg sync.WaitGroup
+			var sum atomic.Uint64 // fixed-point sum of inserted measures
+			stop := make(chan struct{})
+
+			for w := 0; w < writers; w++ {
+				wWg.Add(1)
+				go func(seed int64) {
+					defer wWg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < perWriter; i++ {
+						it := randItem(rng, cfg.Schema)
+						it.Measure = float64(rng.Intn(100)) // integral: exact float sums
+						sum.Add(uint64(it.Measure))
+						if err := s.Insert(it); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(int64(100 + w))
+			}
+
+			for r := 0; r < readers; r++ {
+				rWg.Add(1)
+				go func(seed int64) {
+					defer rWg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					var prev uint64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Full-coverage queries must observe a
+						// monotonically non-decreasing count.
+						agg := s.Query(keys.AllRect(cfg.Schema))
+						if agg.Count < prev {
+							t.Errorf("count went backwards: %d < %d", agg.Count, prev)
+							return
+						}
+						prev = agg.Count
+						// And random partial queries must not panic or
+						// exceed the total.
+						pa := s.Query(randRect(rng, cfg.Schema))
+						if pa.Count > uint64(writers*perWriter) {
+							t.Errorf("partial query count %d exceeds max", pa.Count)
+							return
+						}
+					}
+				}(int64(200 + r))
+			}
+
+			// Wait for writers, then stop readers.
+			wWg.Wait()
+			close(stop)
+			rWg.Wait()
+
+			total := uint64(writers * perWriter)
+			if t.Failed() {
+				return
+			}
+			if got := s.Count(); got != total {
+				t.Fatalf("Count = %d, want %d", got, total)
+			}
+			agg := s.Query(keys.AllRect(cfg.Schema))
+			if agg.Count != total {
+				t.Fatalf("full query count = %d, want %d", agg.Count, total)
+			}
+			if agg.Sum != float64(sum.Load()) {
+				t.Fatalf("full query sum = %f, want %d (lost or duplicated items)", agg.Sum, sum.Load())
+			}
+			if err := CheckInvariants(s); err != nil {
+				t.Fatalf("invariants after concurrency: %v", err)
+			}
+		})
+	}
+}
+
+// TestConcurrentSplitDuringQueries runs Split/Items traversals against a
+// tree while writers keep inserting, mimicking the worker's behaviour
+// during load balancing (§III-E: queries are never interrupted).
+func TestConcurrentSplitDuringQueries(t *testing.T) {
+	cfg := allConfigs(t)["hilbert-mds"]
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 3000; i++ {
+		if err := s.Insert(randItem(rng, cfg.Schema)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(32))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it := randItem(r, cfg.Schema)
+			if err := s.Insert(it); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Run several full Split passes concurrently with the writer; each
+	// must produce halves that sum to at least the pre-split count.
+	for pass := 0; pass < 3; pass++ {
+		before := s.Count()
+		h, err := s.SplitQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, right, err := s.Split(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := left.Count() + right.Count(); got < before {
+			t.Fatalf("split lost items: halves %d < pre-split %d", got, before)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBulkAndPoint interleaves point inserts on top of a
+// bulk-loaded tree from several goroutines.
+func TestConcurrentBulkAndPoint(t *testing.T) {
+	cfg := allConfigs(t)["hilbert-mbr"]
+	s, _ := NewStore(cfg)
+	rng := rand.New(rand.NewSource(77))
+	base := make([]Item, 4000)
+	for i := range base {
+		base[i] = randItem(rng, cfg.Schema)
+		base[i].Measure = 1
+	}
+	if err := s.BulkLoad(base); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				it := randItem(r, cfg.Schema)
+				it.Measure = 1
+				if err := s.Insert(it); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	want := uint64(4000 + 4*500)
+	agg := s.Query(keys.AllRect(cfg.Schema))
+	if agg.Count != want || agg.Sum != float64(want) {
+		t.Fatalf("count=%d sum=%f want %d", agg.Count, agg.Sum, want)
+	}
+	if err := CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+)
+
+// testSchema builds a small 3-dimensional hierarchical schema.
+func testSchema(tb testing.TB) *hierarchy.Schema {
+	tb.Helper()
+	return hierarchy.MustSchema(
+		hierarchy.MustDimension("Store",
+			hierarchy.Level{Name: "Region", Fanout: 8},
+			hierarchy.Level{Name: "City", Fanout: 8}),
+		hierarchy.MustDimension("Item",
+			hierarchy.Level{Name: "Brand", Fanout: 50}),
+		hierarchy.MustDimension("Date",
+			hierarchy.Level{Name: "Year", Fanout: 4},
+			hierarchy.Level{Name: "Month", Fanout: 4},
+			hierarchy.Level{Name: "Day", Fanout: 4}),
+	)
+}
+
+// allConfigs enumerates the five shard store variants of §III-D.
+func allConfigs(tb testing.TB) map[string]Config {
+	s := testSchema(tb)
+	return map[string]Config{
+		"array":       {Schema: s, Store: StoreArray, Keys: keys.MBR},
+		"pdc-mbr":     {Schema: s, Store: StorePDC, Keys: keys.MBR, LeafCapacity: 16, DirCapacity: 8},
+		"pdc-mds":     {Schema: s, Store: StorePDC, Keys: keys.MDS, LeafCapacity: 16, DirCapacity: 8},
+		"hilbert-mbr": {Schema: s, Store: StoreHilbertPDC, Keys: keys.MBR, LeafCapacity: 16, DirCapacity: 8},
+		"hilbert-mds": {Schema: s, Store: StoreHilbertPDC, Keys: keys.MDS, LeafCapacity: 16, DirCapacity: 8},
+	}
+}
+
+// randItem draws a random point with mild skew (quadratic bias toward low
+// ordinals) so trees develop uneven regions like real data.
+func randItem(rng *rand.Rand, s *hierarchy.Schema) Item {
+	coords := make([]uint64, s.NumDims())
+	for d := range coords {
+		n := s.Dim(d).LeafCount()
+		f := rng.Float64()
+		coords[d] = uint64(f * f * float64(n))
+		if coords[d] >= n {
+			coords[d] = n - 1
+		}
+	}
+	return Item{Coords: coords, Measure: float64(rng.Intn(1000)) / 10}
+}
+
+// randRect draws a query rectangle by picking a hierarchy value at a
+// random depth in every dimension (§IV query model).
+func randRect(rng *rand.Rand, s *hierarchy.Schema) keys.Rect {
+	ivs := make([]hierarchy.Interval, s.NumDims())
+	for d := range ivs {
+		dim := s.Dim(d)
+		depth := rng.Intn(dim.Depth() + 1)
+		prefix := make([]uint32, depth)
+		for l := 0; l < depth; l++ {
+			prefix[l] = uint32(rng.Intn(int(dim.Level(l).Fanout)))
+		}
+		iv, err := dim.NodeInterval(depth, prefix)
+		if err != nil {
+			panic(err)
+		}
+		ivs[d] = iv
+	}
+	return keys.Rect{Ivs: ivs}
+}
+
+// refAggregate recomputes an aggregate by brute force.
+func refAggregate(items []Item, q keys.Rect) Aggregate {
+	agg := NewAggregate()
+	for _, it := range items {
+		if q.ContainsPoint(it.Coords) {
+			agg.AddItem(it.Measure)
+		}
+	}
+	return agg
+}
+
+func TestAggregate(t *testing.T) {
+	a := NewAggregate()
+	if a.Count != 0 || !math.IsInf(a.Min, 1) || !math.IsInf(a.Max, -1) {
+		t.Fatal("identity aggregate wrong")
+	}
+	if a.Avg() != 0 {
+		t.Error("empty Avg should be 0")
+	}
+	a.AddItem(2)
+	a.AddItem(6)
+	if a.Count != 2 || a.Sum != 8 || a.Min != 2 || a.Max != 6 || a.Avg() != 4 {
+		t.Errorf("aggregate = %v", a)
+	}
+	b := NewAggregate()
+	b.AddItem(-1)
+	a.Merge(b)
+	if a.Count != 3 || a.Sum != 7 || a.Min != -1 || a.Max != 6 {
+		t.Errorf("merged = %v", a)
+	}
+	// Merging the identity is a no-op.
+	before := a
+	a.Merge(NewAggregate())
+	if a != before {
+		t.Error("merge with identity changed aggregate")
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewStore(Config{}); err == nil {
+		t.Error("missing schema should fail")
+	}
+	s := testSchema(t)
+	if _, err := NewStore(Config{Schema: s, LeafCapacity: 1}); err == nil {
+		t.Error("tiny leaf capacity should fail")
+	}
+	if _, err := NewStore(Config{Schema: s, DirCapacity: 2, Store: StorePDC}); err == nil {
+		t.Error("DirCapacity 2 should fail")
+	}
+	if _, err := NewStore(Config{Schema: s, Store: StoreKind(99)}); err == nil {
+		t.Error("unknown store kind should fail")
+	}
+	if StoreArray.String() != "array" || StorePDC.String() != "pdc" ||
+		StoreHilbertPDC.String() != "hilbert-pdc" || StoreKind(9).String() == "" {
+		t.Error("StoreKind.String wrong")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		s, err := NewStore(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(Item{Coords: []uint64{0}}); err == nil {
+			t.Errorf("%s: short point should fail", name)
+		}
+		if err := s.BulkLoad([]Item{{Coords: []uint64{1 << 40, 0, 0}}}); err == nil {
+			t.Errorf("%s: out-of-range bulk point should fail", name)
+		}
+	}
+}
+
+// TestQueryMatchesReference inserts random items into every store variant
+// and checks dozens of random aggregate queries against brute force.
+func TestQueryMatchesReference(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			s, err := NewStore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []Item
+			for i := 0; i < 3000; i++ {
+				it := randItem(rng, cfg.Schema)
+				ref = append(ref, it)
+				if err := s.Insert(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s.Count() != 3000 {
+				t.Fatalf("Count = %d", s.Count())
+			}
+			for q := 0; q < 60; q++ {
+				rect := randRect(rng, cfg.Schema)
+				got := s.Query(rect)
+				want := refAggregate(ref, rect)
+				if err := aggEqual(got, want); err != nil {
+					t.Fatalf("query %v: %v", rect, err)
+				}
+			}
+			if err := CheckInvariants(s); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestFullCoverageUsesCache checks that a query covering the whole space
+// is answered from cached aggregates without scanning items.
+func TestFullCoverageUsesCache(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		rng := rand.New(rand.NewSource(3))
+		s, _ := NewStore(cfg)
+		for i := 0; i < 2000; i++ {
+			if err := s.Insert(randItem(rng, cfg.Schema)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		agg, st := s.QueryWithStats(keys.AllRect(cfg.Schema))
+		if agg.Count != 2000 {
+			t.Errorf("%s: full query count = %d", name, agg.Count)
+		}
+		if st.CoveredNodes == 0 {
+			t.Errorf("%s: full-coverage query should use cached aggregates", name)
+		}
+		if st.ItemsScanned != 0 {
+			t.Errorf("%s: full-coverage query scanned %d items", name, st.ItemsScanned)
+		}
+	}
+}
+
+func TestKeySnapshot(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		s, _ := NewStore(cfg)
+		if !s.Key().Empty() {
+			t.Errorf("%s: empty store key should be empty", name)
+		}
+		it := Item{Coords: []uint64{5, 6, 7}, Measure: 1}
+		if err := s.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		k := s.Key()
+		if !k.ContainsPoint(it.Coords) {
+			t.Errorf("%s: key misses inserted point", name)
+		}
+	}
+}
+
+// TestBulkLoadEquivalence checks that bulk loading and point insertion
+// produce stores with identical query results, and that the packed
+// Hilbert build keeps all invariants.
+func TestBulkLoadEquivalence(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			items := make([]Item, 2500)
+			for i := range items {
+				items[i] = randItem(rng, cfg.Schema)
+			}
+			bulk, _ := NewStore(cfg)
+			if err := bulk.BulkLoad(items); err != nil {
+				t.Fatal(err)
+			}
+			point, _ := NewStore(cfg)
+			for _, it := range items {
+				if err := point.Insert(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if bulk.Count() != point.Count() {
+				t.Fatalf("counts differ: %d vs %d", bulk.Count(), point.Count())
+			}
+			for q := 0; q < 40; q++ {
+				rect := randRect(rng, cfg.Schema)
+				if err := aggEqual(bulk.Query(rect), point.Query(rect)); err != nil {
+					t.Fatalf("bulk vs point on %v: %v", rect, err)
+				}
+			}
+			if err := CheckInvariants(bulk); err != nil {
+				t.Fatalf("bulk invariants: %v", err)
+			}
+			// Bulk loading into a non-empty store must also work.
+			if err := bulk.BulkLoad(items[:100]); err != nil {
+				t.Fatal(err)
+			}
+			if bulk.Count() != 2600 {
+				t.Fatalf("count after second bulk = %d", bulk.Count())
+			}
+			if err := CheckInvariants(bulk); err != nil {
+				t.Fatalf("invariants after second bulk: %v", err)
+			}
+		})
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	for _, cfg := range allConfigs(t) {
+		s, _ := NewStore(cfg)
+		if err := s.BulkLoad(nil); err != nil {
+			t.Fatal(err)
+		}
+		if s.Count() != 0 {
+			t.Error("empty bulk load changed count")
+		}
+	}
+}
+
+// TestSplit checks SplitQuery/Split: the halves partition the store and
+// are roughly balanced.
+func TestSplit(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			s, _ := NewStore(cfg)
+			var ref []Item
+			for i := 0; i < 4000; i++ {
+				it := randItem(rng, cfg.Schema)
+				ref = append(ref, it)
+				if err := s.Insert(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			h, err := s.SplitQuery()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Dim < 0 {
+				t.Fatalf("random data should split spatially, got fallback")
+			}
+			left, right, err := s.Split(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lc, rc := left.Count(), right.Count()
+			if lc+rc != 4000 {
+				t.Fatalf("split lost items: %d + %d", lc, rc)
+			}
+			if lc == 0 || rc == 0 {
+				t.Fatalf("degenerate split: %d/%d", lc, rc)
+			}
+			if ratio := float64(lc) / 4000; ratio < 0.2 || ratio > 0.8 {
+				t.Errorf("unbalanced split: %d/%d", lc, rc)
+			}
+			// Union of halves answers queries identically to the original.
+			for q := 0; q < 30; q++ {
+				rect := randRect(rng, cfg.Schema)
+				got := left.Query(rect)
+				got.Merge(right.Query(rect))
+				if err := aggEqual(got, refAggregate(ref, rect)); err != nil {
+					t.Fatalf("halves vs reference: %v", err)
+				}
+			}
+			// The original store is unchanged.
+			if s.Count() != 4000 {
+				t.Error("Split mutated the source store")
+			}
+			for _, half := range []Store{left, right} {
+				if err := CheckInvariants(half); err != nil {
+					t.Fatalf("half invariants: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		s, _ := NewStore(cfg)
+		if _, err := s.SplitQuery(); err == nil {
+			t.Errorf("%s: SplitQuery on empty store should fail", name)
+		}
+		// All items identical: only the alternating fallback can split.
+		for i := 0; i < 100; i++ {
+			if err := s.Insert(Item{Coords: []uint64{3, 3, 3}, Measure: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := s.SplitQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Dim != -1 {
+			t.Errorf("%s: identical items should fall back, got dim %d", name, h.Dim)
+		}
+		left, right, err := s.Split(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if left.Count()+right.Count() != 100 || left.Count() == 0 || right.Count() == 0 {
+			t.Errorf("%s: fallback split %d/%d", name, left.Count(), right.Count())
+		}
+	}
+}
+
+func TestSplitBadHyperplane(t *testing.T) {
+	cfg := allConfigs(t)["hilbert-mds"]
+	s, _ := NewStore(cfg)
+	if _, _, err := s.Split(Hyperplane{Dim: 99}); err == nil {
+		t.Error("out-of-range hyperplane dim should fail")
+	}
+}
+
+// TestSerializeRoundTrip checks Serialize/DeserializeStore preserve
+// contents and configuration for every variant.
+func TestSerializeRoundTrip(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(13))
+			s, _ := NewStore(cfg)
+			var ref []Item
+			for i := 0; i < 1500; i++ {
+				it := randItem(rng, cfg.Schema)
+				ref = append(ref, it)
+				if err := s.Insert(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blob := s.Serialize()
+			got, err := DeserializeStore(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count() != s.Count() {
+				t.Fatalf("count %d != %d", got.Count(), s.Count())
+			}
+			if got.Config().Store != cfg.Store || got.Config().Keys != cfg.Keys {
+				t.Error("config changed across serialization")
+			}
+			for q := 0; q < 25; q++ {
+				rect := randRect(rng, cfg.Schema)
+				if err := aggEqual(got.Query(rect), refAggregate(ref, rect)); err != nil {
+					t.Fatalf("deserialized query: %v", err)
+				}
+			}
+			if err := CheckInvariants(got); err != nil {
+				t.Fatalf("deserialized invariants: %v", err)
+			}
+		})
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := DeserializeStore([]byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	cfg := allConfigs(t)["array"]
+	s, _ := NewStore(cfg)
+	_ = s.Insert(Item{Coords: []uint64{1, 2, 3}, Measure: 1})
+	blob := s.Serialize()
+	if _, err := DeserializeStore(blob[:len(blob)-3]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+func TestItemsEarlyStop(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		rng := rand.New(rand.NewSource(2))
+		s, _ := NewStore(cfg)
+		for i := 0; i < 500; i++ {
+			if err := s.Insert(randItem(rng, cfg.Schema)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen := 0
+		s.Items(func(Item) bool {
+			seen++
+			return seen < 10
+		})
+		if seen != 10 {
+			t.Errorf("%s: early stop saw %d items", name, seen)
+		}
+	}
+}
+
+func TestStatsAndMemory(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		rng := rand.New(rand.NewSource(4))
+		s, _ := NewStore(cfg)
+		for i := 0; i < 1000; i++ {
+			if err := s.Insert(randItem(rng, cfg.Schema)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := Stats(s)
+		if st.Items != 1000 {
+			t.Errorf("%s: stats items = %d", name, st.Items)
+		}
+		if cfg.Store != StoreArray {
+			if st.Leaves < 2 || st.Height < 2 {
+				t.Errorf("%s: implausible structure %+v", name, st)
+			}
+		}
+		if s.MemoryBytes() == 0 {
+			t.Errorf("%s: MemoryBytes = 0", name)
+		}
+	}
+}
+
+// TestMedianSplitAblation checks the SplitMedian policy still yields a
+// correct tree (the ablation baseline of DESIGN.md decision 3).
+func TestMedianSplitAblation(t *testing.T) {
+	cfg := allConfigs(t)["hilbert-mds"]
+	cfg.SplitPolicy = SplitMedian
+	rng := rand.New(rand.NewSource(21))
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []Item
+	for i := 0; i < 2000; i++ {
+		it := randItem(rng, cfg.Schema)
+		ref = append(ref, it)
+		if err := s.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 30; q++ {
+		rect := randRect(rng, cfg.Schema)
+		if err := aggEqual(s.Query(rect), refAggregate(ref, rect)); err != nil {
+			t.Fatalf("median-split query: %v", err)
+		}
+	}
+	if err := CheckInvariants(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyQuery checks queries on empty stores return the identity.
+func TestEmptyQuery(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		s, _ := NewStore(cfg)
+		agg := s.Query(keys.AllRect(cfg.Schema))
+		if agg.Count != 0 || agg.Sum != 0 {
+			t.Errorf("%s: empty query = %v", name, agg)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+	"repro/internal/wire"
+)
+
+// Fuzz targets for the byte-level decode paths that consume data from the
+// network: deserializing shards and keys must never panic or loop,
+// whatever bytes arrive.
+
+func FuzzDeserializeStore(f *testing.F) {
+	// Seed with a valid small shard and mutations of it.
+	cfg := Config{Schema: fuzzSchema(), Store: StoreHilbertPDC, Keys: keys.MDS}
+	st, err := NewStore(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := st.Insert(Item{Coords: []uint64{i % 16, i % 8}, Measure: float64(i)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob := st.Serialize()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte("VOLAPSHARD1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DeserializeStore(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded store must be internally consistent.
+		if cerr := CheckInvariants(s); cerr != nil {
+			t.Fatalf("decoded store violates invariants: %v", cerr)
+		}
+		_ = s.Query(keys.AllRect(s.Config().Schema))
+	})
+}
+
+func FuzzDecodeAggregate(f *testing.F) {
+	w := wire.NewWriter(64)
+	a := NewAggregate()
+	a.AddItem(3.5)
+	a.Encode(w)
+	f.Add(w.Bytes())
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeAggregate(wire.NewReader(data))
+	})
+}
+
+// testFuzzSchema is built once; fuzzing runs many iterations.
+var testFuzzSchema = hierarchy.MustSchema(
+	hierarchy.MustDimension("A",
+		hierarchy.Level{Name: "L1", Fanout: 4},
+		hierarchy.Level{Name: "L2", Fanout: 4}),
+	hierarchy.MustDimension("B",
+		hierarchy.Level{Name: "L1", Fanout: 8}),
+)
+
+func fuzzSchema() *hierarchy.Schema { return testFuzzSchema }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+)
+
+// TestModelRandomOps is a model-based property test: a random sequence of
+// operations (point inserts, bulk loads, splits, serialization round
+// trips) is applied to every store variant, with a plain item slice as
+// the model. After every step a random aggregate query on the store must
+// match brute force over the model.
+func TestModelRandomOps(t *testing.T) {
+	for name, cfg := range allConfigs(t) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				st, err := NewStore(cfg)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				var model []Item
+				for step := 0; step < 30; step++ {
+					switch op := rng.Intn(10); {
+					case op < 5: // point inserts
+						for i := 0; i < rng.Intn(40)+1; i++ {
+							it := randItem(rng, cfg.Schema)
+							model = append(model, it)
+							if err := st.Insert(it); err != nil {
+								t.Log(err)
+								return false
+							}
+						}
+					case op < 7: // bulk load
+						batch := make([]Item, rng.Intn(200))
+						for i := range batch {
+							batch[i] = randItem(rng, cfg.Schema)
+						}
+						model = append(model, batch...)
+						if err := st.BulkLoad(batch); err != nil {
+							t.Log(err)
+							return false
+						}
+					case op < 8: // split and continue on the left half +
+						// re-insert the right half (exercises §III-E ops)
+						if st.Count() < 4 {
+							continue
+						}
+						h, err := st.SplitQuery()
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						left, right, err := st.Split(h)
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						var rightItems []Item
+						right.Items(func(it Item) bool {
+							rightItems = append(rightItems, it)
+							return true
+						})
+						if err := left.BulkLoad(rightItems); err != nil {
+							t.Log(err)
+							return false
+						}
+						st = left
+					case op < 9: // serialize / deserialize round trip
+						blob := st.Serialize()
+						st2, err := DeserializeStore(blob)
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						st = st2
+					default: // invariant check
+						if err := CheckInvariants(st); err != nil {
+							t.Log(err)
+							return false
+						}
+					}
+					// Query check after every step.
+					q := randRect(rng, cfg.Schema)
+					if err := aggEqual(st.Query(q), refAggregate(model, q)); err != nil {
+						t.Logf("step %d: %v", step, err)
+						return false
+					}
+					if st.Count() != uint64(len(model)) {
+						t.Logf("step %d: count %d != model %d", step, st.Count(), len(model))
+						return false
+					}
+				}
+				return CheckInvariants(st) == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQueryNeverOvercounts property-checks that no query can report more
+// items than exist, and that disjoint hierarchy-value queries over one
+// dimension partition the total exactly.
+func TestQueryNeverOvercounts(t *testing.T) {
+	cfg := allConfigs(t)["hilbert-mds"]
+	rng := rand.New(rand.NewSource(99))
+	st, _ := NewStore(cfg)
+	for i := 0; i < 3000; i++ {
+		if err := st.Insert(randItem(rng, cfg.Schema)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := st.Count()
+	// Partition by level-1 values of dimension 0: counts must sum to the
+	// total (each item has exactly one level-1 ancestor).
+	d0 := cfg.Schema.Dim(0)
+	var sum uint64
+	all := keys.AllRect(cfg.Schema)
+	for v := uint32(0); v < d0.Level(0).Fanout; v++ {
+		iv, err := d0.NodeInterval(1, []uint32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := keys.Rect{Ivs: append([]hierarchy.Interval(nil), all.Ivs...)}
+		q.Ivs[0] = iv
+		agg := st.Query(q)
+		if agg.Count > total {
+			t.Fatalf("overcount: %d > %d", agg.Count, total)
+		}
+		sum += agg.Count
+	}
+	if sum != total {
+		t.Fatalf("partition sums to %d, want %d", sum, total)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+	"repro/internal/wire"
+)
+
+// shardMagic guards against decoding unrelated blobs as shards.
+const shardMagic = "VOLAPSHARD1"
+
+// Serialize flattens the tree store into a binary blob (§III-E
+// SerializeShard): configuration, schema, and all items.
+func (t *tree) Serialize() []byte { return serializeStore(t) }
+
+// serializeStore implements Serialize for any store by streaming items.
+func serializeStore(s Store) []byte {
+	cfg := s.Config()
+	items := make([]Item, 0, s.Count())
+	s.Items(func(it Item) bool {
+		items = append(items, it)
+		return true
+	})
+
+	w := wire.NewWriter(64 + len(items)*(cfg.Schema.NumDims()*4+8))
+	w.String(shardMagic)
+	w.Uint8(uint8(cfg.Store))
+	w.Uint8(uint8(cfg.Keys))
+	w.Uvarint(uint64(cfg.MDSCap))
+	w.Uvarint(uint64(cfg.LeafCapacity))
+	w.Uvarint(uint64(cfg.DirCapacity))
+	w.Uint8(uint8(cfg.SplitPolicy))
+	cfg.Schema.Encode(w)
+	w.Uint64(cfg.Schema.Fingerprint())
+	w.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		for _, c := range it.Coords {
+			w.Uvarint(c)
+		}
+		w.Float64(it.Measure)
+	}
+	return w.Bytes()
+}
+
+// DeserializeStore rebuilds a store from a Serialize blob (§III-E
+// DeserializeShard). The data is bulk-loaded, so a deserialized Hilbert
+// PDC tree comes back packed.
+func DeserializeStore(b []byte) (Store, error) {
+	r := wire.NewReader(b)
+	if r.String() != shardMagic {
+		return nil, errors.New("core: not a serialized shard")
+	}
+	cfg := Config{
+		Store:        StoreKind(r.Uint8()),
+		Keys:         keys.Kind(r.Uint8()),
+		MDSCap:       int(r.Uvarint()),
+		LeafCapacity: int(r.Uvarint()),
+		DirCapacity:  int(r.Uvarint()),
+		SplitPolicy:  SplitPolicy(r.Uint8()),
+	}
+	schema, err := hierarchy.DecodeSchema(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard schema: %w", err)
+	}
+	cfg.Schema = schema
+	if fp := r.Uint64(); fp != schema.Fingerprint() {
+		return nil, errors.New("core: shard schema fingerprint mismatch")
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	dims := schema.NumDims()
+	// Each item needs at least dims+8 bytes; reject counts the buffer
+	// cannot possibly hold before allocating for them.
+	if n > uint64(r.Remaining())/uint64(dims+8)+1 {
+		return nil, fmt.Errorf("core: shard claims %d items, buffer too small", n)
+	}
+	if cfg.LeafCapacity > 1<<20 || cfg.DirCapacity > 1<<20 || cfg.MDSCap > 1<<20 {
+		return nil, errors.New("core: implausible shard configuration")
+	}
+	items := make([]Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		coords := make([]uint64, dims)
+		for d := range coords {
+			coords[d] = r.Uvarint()
+		}
+		m := r.Float64()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("core: shard truncated at item %d: %w", i, r.Err())
+		}
+		items = append(items, Item{Coords: coords, Measure: m})
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,404 @@
+// Package hierarchy models OLAP dimension hierarchies.
+//
+// A dimension is a rooted tree of values: an implicit "All" root, then one
+// or more named levels with a fixed fan-out per level (every value at level
+// l-1 has exactly Fanout(l) children at level l). The leaves of a dimension
+// are its finest-grained values; every leaf is identified by its path from
+// the root, or equivalently by its ordinal position in the left-to-right
+// leaf order. Because the hierarchy is fixed-fanout, any hierarchy value at
+// any level corresponds to a contiguous interval of leaf ordinals, which is
+// the property VOLAP's keys, queries, and Hilbert mapping are built on.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// MaxLeafCount bounds the number of leaves in a single dimension so that
+// leaf ordinals and interval arithmetic stay comfortably inside uint64 (and
+// per-dimension Hilbert coordinates inside 64 bits after ID expansion).
+const MaxLeafCount = 1 << 31
+
+// Level describes one level of a dimension hierarchy.
+type Level struct {
+	Name   string
+	Fanout uint32 // children per parent value; must be >= 1
+}
+
+// Dimension is a named hierarchy of levels below an implicit "All" root.
+type Dimension struct {
+	name   string
+	levels []Level
+
+	bits      []uint   // bits[l] = bits needed for a level-l child index
+	suffix    []uint64 // suffix[l] = leaves under one value at depth l (suffix[depth]=1)
+	leafCount uint64
+	totalBits uint
+}
+
+// NewDimension builds a dimension from its levels, validating fan-outs.
+func NewDimension(name string, levels ...Level) (*Dimension, error) {
+	if name == "" {
+		return nil, errors.New("hierarchy: dimension name must not be empty")
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hierarchy: dimension %q has no levels", name)
+	}
+	d := &Dimension{
+		name:   name,
+		levels: append([]Level(nil), levels...),
+		bits:   make([]uint, len(levels)),
+		suffix: make([]uint64, len(levels)+1),
+	}
+	leaves := uint64(1)
+	for i, lv := range levels {
+		if lv.Fanout < 1 {
+			return nil, fmt.Errorf("hierarchy: dimension %q level %q has fanout %d", name, lv.Name, lv.Fanout)
+		}
+		leaves *= uint64(lv.Fanout)
+		if leaves > MaxLeafCount {
+			return nil, fmt.Errorf("hierarchy: dimension %q exceeds %d leaves", name, uint64(MaxLeafCount))
+		}
+		d.bits[i] = bitsFor(uint64(lv.Fanout))
+		d.totalBits += d.bits[i]
+	}
+	d.leafCount = leaves
+	d.suffix[len(levels)] = 1
+	for l := len(levels) - 1; l >= 0; l-- {
+		d.suffix[l] = d.suffix[l+1] * uint64(levels[l].Fanout)
+	}
+	return d, nil
+}
+
+// MustDimension is NewDimension that panics on error; for fixed schemas.
+func MustDimension(name string, levels ...Level) *Dimension {
+	d, err := NewDimension(name, levels...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// bitsFor returns the number of bits needed to represent values 0..n-1.
+func bitsFor(n uint64) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(n - 1))
+}
+
+// Name returns the dimension's name.
+func (d *Dimension) Name() string { return d.name }
+
+// Depth returns the number of levels below the All root.
+func (d *Dimension) Depth() int { return len(d.levels) }
+
+// Level returns the level definition at depth l (1-based depth l means
+// index l-1 here; callers pass 0-based level indices).
+func (d *Dimension) Level(i int) Level { return d.levels[i] }
+
+// LeafCount returns the number of leaf values.
+func (d *Dimension) LeafCount() uint64 { return d.leafCount }
+
+// Bits returns the total number of bits of a packed leaf path.
+func (d *Dimension) Bits() uint { return d.totalBits }
+
+// LevelBits returns the number of bits used by the child index at level i.
+func (d *Dimension) LevelBits(i int) uint { return d.bits[i] }
+
+// LeavesUnder returns the number of leaves below a single value at the
+// given depth (depth 0 = All, depth Depth() = a leaf).
+func (d *Dimension) LeavesUnder(depth int) uint64 { return d.suffix[depth] }
+
+// Ordinal converts a full leaf path (one child index per level) to the
+// leaf's ordinal position.
+func (d *Dimension) Ordinal(path []uint32) (uint64, error) {
+	if len(path) != len(d.levels) {
+		return 0, fmt.Errorf("hierarchy: %s: path depth %d, want %d", d.name, len(path), len(d.levels))
+	}
+	var ord uint64
+	for i, v := range path {
+		if v >= d.levels[i].Fanout {
+			return 0, fmt.Errorf("hierarchy: %s: level %d value %d out of range [0,%d)", d.name, i, v, d.levels[i].Fanout)
+		}
+		ord = ord*uint64(d.levels[i].Fanout) + uint64(v)
+	}
+	return ord, nil
+}
+
+// Path converts a leaf ordinal back to its per-level path. It is the
+// inverse of Ordinal.
+func (d *Dimension) Path(ord uint64) ([]uint32, error) {
+	if ord >= d.leafCount {
+		return nil, fmt.Errorf("hierarchy: %s: ordinal %d out of range [0,%d)", d.name, ord, d.leafCount)
+	}
+	path := make([]uint32, len(d.levels))
+	for i := len(d.levels) - 1; i >= 0; i-- {
+		f := uint64(d.levels[i].Fanout)
+		path[i] = uint32(ord % f)
+		ord /= f
+	}
+	return path, nil
+}
+
+// Interval is an inclusive range [Lo, Hi] of leaf ordinals.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of leaves covered by the interval.
+func (iv Interval) Len() uint64 { return iv.Hi - iv.Lo + 1 }
+
+// Contains reports whether the ordinal lies inside the interval.
+func (iv Interval) Contains(ord uint64) bool { return ord >= iv.Lo && ord <= iv.Hi }
+
+// Overlaps reports whether the two intervals share any leaf.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= iv.Hi }
+
+// CoveredBy reports whether iv lies entirely within o.
+func (iv Interval) CoveredBy(o Interval) bool { return o.Lo <= iv.Lo && iv.Hi <= o.Hi }
+
+// NodeInterval returns the leaf-ordinal interval covered by the hierarchy
+// value identified by the given depth and path prefix. Depth 0 with an
+// empty prefix denotes the All value and covers every leaf.
+func (d *Dimension) NodeInterval(depth int, prefix []uint32) (Interval, error) {
+	if depth < 0 || depth > len(d.levels) {
+		return Interval{}, fmt.Errorf("hierarchy: %s: depth %d out of range [0,%d]", d.name, depth, len(d.levels))
+	}
+	if len(prefix) < depth {
+		return Interval{}, fmt.Errorf("hierarchy: %s: prefix of length %d shorter than depth %d", d.name, len(prefix), depth)
+	}
+	var base uint64
+	for i := 0; i < depth; i++ {
+		if prefix[i] >= d.levels[i].Fanout {
+			return Interval{}, fmt.Errorf("hierarchy: %s: level %d value %d out of range [0,%d)", d.name, i, prefix[i], d.levels[i].Fanout)
+		}
+		base = base*uint64(d.levels[i].Fanout) + uint64(prefix[i])
+	}
+	lo := base * d.suffix[depth]
+	return Interval{Lo: lo, Hi: lo + d.suffix[depth] - 1}, nil
+}
+
+// ParentInterval returns the interval of the hierarchy value one level
+// above the value whose interval is iv, assuming iv is exactly the
+// interval of a depth-d value. Passing depth 0 returns iv unchanged.
+func (d *Dimension) ParentInterval(iv Interval, depth int) Interval {
+	if depth <= 0 {
+		return iv
+	}
+	span := d.suffix[depth-1]
+	lo := (iv.Lo / span) * span
+	return Interval{Lo: lo, Hi: lo + span - 1}
+}
+
+// DepthOfInterval returns the depth whose value-intervals have exactly the
+// size of iv, or -1 if iv is not aligned to any single hierarchy value.
+func (d *Dimension) DepthOfInterval(iv Interval) int {
+	size := iv.Len()
+	for depth := 0; depth <= len(d.levels); depth++ {
+		if d.suffix[depth] == size {
+			if iv.Lo%size == 0 {
+				return depth
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// String renders the dimension as "Name(L1:f1/L2:f2/...)".
+func (d *Dimension) String() string {
+	var sb strings.Builder
+	sb.WriteString(d.name)
+	sb.WriteByte('(')
+	for i, lv := range d.levels {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		fmt.Fprintf(&sb, "%s:%d", lv.Name, lv.Fanout)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Schema is an ordered set of dimensions shared by points, keys, queries,
+// and trees.
+type Schema struct {
+	dims []*Dimension
+
+	maxDepth     int
+	levelMaxBits []uint // levelMaxBits[l] = max over dims (with depth>l) of LevelBits(l)
+	expandedBits []uint // per-dim total bits after ID expansion (Figure 3)
+}
+
+// NewSchema builds a schema from dimensions, precomputing the ID-expansion
+// bit layout used by the Hilbert mapping (paper Figure 3): for each level,
+// every dimension's child index is left-shifted so that the level spans the
+// same numeric range in all dimensions.
+func NewSchema(dims ...*Dimension) (*Schema, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("hierarchy: schema needs at least one dimension")
+	}
+	if len(dims) > 64 {
+		return nil, fmt.Errorf("hierarchy: schema has %d dimensions, max 64", len(dims))
+	}
+	s := &Schema{dims: append([]*Dimension(nil), dims...)}
+	for _, d := range dims {
+		if d.Depth() > s.maxDepth {
+			s.maxDepth = d.Depth()
+		}
+	}
+	s.levelMaxBits = make([]uint, s.maxDepth)
+	for l := 0; l < s.maxDepth; l++ {
+		for _, d := range dims {
+			if d.Depth() > l && d.LevelBits(l) > s.levelMaxBits[l] {
+				s.levelMaxBits[l] = d.LevelBits(l)
+			}
+		}
+	}
+	s.expandedBits = make([]uint, len(dims))
+	for i, d := range dims {
+		var total uint
+		for l := 0; l < d.Depth(); l++ {
+			total += s.levelMaxBits[l]
+		}
+		if total > 64 {
+			return nil, fmt.Errorf("hierarchy: dimension %q needs %d expanded bits, max 64", d.Name(), total)
+		}
+		s.expandedBits[i] = total
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for fixed schemas.
+func MustSchema(dims ...*Dimension) *Schema {
+	s, err := NewSchema(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumDims returns the number of dimensions.
+func (s *Schema) NumDims() int { return len(s.dims) }
+
+// Dim returns the i-th dimension.
+func (s *Schema) Dim(i int) *Dimension { return s.dims[i] }
+
+// ExpandedBits returns the per-dimension coordinate widths after ID
+// expansion; these are the bit widths fed to the compact Hilbert curve.
+func (s *Schema) ExpandedBits() []uint {
+	return append([]uint(nil), s.expandedBits...)
+}
+
+// ExpandOrdinal applies the Figure 3 ID expansion to a leaf ordinal of
+// dimension dim: the ordinal is decomposed into per-level child indices and
+// each index is left-shifted so its level occupies the schema-wide maximum
+// bit width for that level. The result is the dimension's Hilbert
+// coordinate. Note that the expansion is order-preserving per dimension.
+func (s *Schema) ExpandOrdinal(dim int, ord uint64) uint64 {
+	d := s.dims[dim]
+	var out uint64
+	// Walk levels from coarsest to finest, peeling child indices from the
+	// most significant position of the mixed-radix ordinal.
+	rem := ord
+	for l := 0; l < d.Depth(); l++ {
+		span := d.suffix[l+1]
+		idx := rem / span
+		rem %= span
+		shift := s.levelMaxBits[l] - d.bits[l]
+		out = (out << s.levelMaxBits[l]) | (idx << shift)
+	}
+	return out
+}
+
+// ValidatePoint checks that coords has one in-range leaf ordinal per
+// dimension.
+func (s *Schema) ValidatePoint(coords []uint64) error {
+	if len(coords) != len(s.dims) {
+		return fmt.Errorf("hierarchy: point has %d coords, schema has %d dims", len(coords), len(s.dims))
+	}
+	for i, c := range coords {
+		if c >= s.dims[i].leafCount {
+			return fmt.Errorf("hierarchy: dim %q ordinal %d out of range [0,%d)", s.dims[i].name, c, s.dims[i].leafCount)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a cheap structural hash of the schema, used to catch
+// mismatched schemas when deserializing shards received over the network.
+func (s *Schema) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(len(s.dims)))
+	for _, d := range s.dims {
+		for _, b := range []byte(d.name) {
+			mix(uint64(b))
+		}
+		mix(uint64(d.Depth()))
+		for _, lv := range d.levels {
+			mix(uint64(lv.Fanout))
+			for _, b := range []byte(lv.Name) {
+				mix(uint64(b))
+			}
+		}
+	}
+	return h
+}
+
+// Encode serializes the schema structure (names, levels, fan-outs).
+func (s *Schema) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(len(s.dims)))
+	for _, d := range s.dims {
+		w.String(d.name)
+		w.Uvarint(uint64(len(d.levels)))
+		for _, lv := range d.levels {
+			w.String(lv.Name)
+			w.Uvarint(uint64(lv.Fanout))
+		}
+	}
+}
+
+// DecodeSchema reads a schema serialized by Encode.
+func DecodeSchema(r *wire.Reader) (*Schema, error) {
+	n := r.Uvarint()
+	if n == 0 || n > 64 {
+		return nil, fmt.Errorf("hierarchy: decoded schema with %d dims", n)
+	}
+	dims := make([]*Dimension, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name := r.String()
+		nl := r.Uvarint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		levels := make([]Level, 0, nl)
+		for j := uint64(0); j < nl; j++ {
+			lname := r.String()
+			fanout := r.Uvarint()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			levels = append(levels, Level{Name: lname, Fanout: uint32(fanout)})
+		}
+		d, err := NewDimension(name, levels...)
+		if err != nil {
+			return nil, err
+		}
+		dims = append(dims, d)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return NewSchema(dims...)
+}

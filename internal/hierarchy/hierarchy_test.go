@@ -1,0 +1,370 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func testDim(t *testing.T) *Dimension {
+	t.Helper()
+	d, err := NewDimension("Date",
+		Level{Name: "Year", Fanout: 10},
+		Level{Name: "Month", Fanout: 12},
+		Level{Name: "Day", Fanout: 31},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDimensionValidation(t *testing.T) {
+	if _, err := NewDimension(""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewDimension("X"); err == nil {
+		t.Error("no levels should fail")
+	}
+	if _, err := NewDimension("X", Level{Name: "A", Fanout: 0}); err == nil {
+		t.Error("zero fanout should fail")
+	}
+	if _, err := NewDimension("X",
+		Level{Name: "A", Fanout: 1 << 16},
+		Level{Name: "B", Fanout: 1 << 16},
+	); err == nil {
+		t.Error("overflowing MaxLeafCount should fail")
+	}
+}
+
+func TestDimensionBasics(t *testing.T) {
+	d := testDim(t)
+	if d.Name() != "Date" || d.Depth() != 3 {
+		t.Errorf("basics wrong: %s depth %d", d.Name(), d.Depth())
+	}
+	if d.LeafCount() != 10*12*31 {
+		t.Errorf("LeafCount = %d", d.LeafCount())
+	}
+	// bits: 10 -> 4, 12 -> 4, 31 -> 5
+	if d.LevelBits(0) != 4 || d.LevelBits(1) != 4 || d.LevelBits(2) != 5 {
+		t.Errorf("LevelBits = %d,%d,%d", d.LevelBits(0), d.LevelBits(1), d.LevelBits(2))
+	}
+	if d.Bits() != 13 {
+		t.Errorf("Bits = %d", d.Bits())
+	}
+	if d.LeavesUnder(0) != 10*12*31 || d.LeavesUnder(1) != 12*31 || d.LeavesUnder(3) != 1 {
+		t.Error("LeavesUnder wrong")
+	}
+	if d.Level(1).Name != "Month" {
+		t.Error("Level accessor wrong")
+	}
+	want := "Date(Year:10/Month:12/Day:31)"
+	if d.String() != want {
+		t.Errorf("String = %q, want %q", d.String(), want)
+	}
+}
+
+func TestOrdinalPathRoundTrip(t *testing.T) {
+	d := testDim(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		path := []uint32{uint32(rng.Intn(10)), uint32(rng.Intn(12)), uint32(rng.Intn(31))}
+		ord, err := d.Ordinal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := d.Path(ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range path {
+			if path[j] != back[j] {
+				t.Fatalf("path %v -> ord %d -> %v", path, ord, back)
+			}
+		}
+	}
+	if _, err := d.Ordinal([]uint32{1, 2}); err == nil {
+		t.Error("short path should fail")
+	}
+	if _, err := d.Ordinal([]uint32{10, 0, 0}); err == nil {
+		t.Error("out-of-range value should fail")
+	}
+	if _, err := d.Path(d.LeafCount()); err == nil {
+		t.Error("out-of-range ordinal should fail")
+	}
+}
+
+func TestOrdinalIsLeafOrder(t *testing.T) {
+	// Ordinals must follow lexicographic path order: that is what makes a
+	// hierarchy value a contiguous ordinal interval.
+	d := MustDimension("D", Level{Name: "A", Fanout: 3}, Level{Name: "B", Fanout: 4})
+	prev := int64(-1)
+	for a := uint32(0); a < 3; a++ {
+		for b := uint32(0); b < 4; b++ {
+			ord, err := d.Ordinal([]uint32{a, b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(ord) != prev+1 {
+				t.Fatalf("ordinal %d after %d", ord, prev)
+			}
+			prev = int64(ord)
+		}
+	}
+}
+
+func TestNodeInterval(t *testing.T) {
+	d := testDim(t)
+	all, err := d.NodeInterval(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Lo != 0 || all.Hi != d.LeafCount()-1 {
+		t.Errorf("All interval = %+v", all)
+	}
+	// Year 3 covers ordinals [3*372, 4*372).
+	y3, err := d.NodeInterval(1, []uint32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y3.Lo != 3*372 || y3.Hi != 4*372-1 {
+		t.Errorf("Year3 interval = %+v", y3)
+	}
+	// Year 3 / Month 11 covers the last 31 ordinals of year 3.
+	m11, err := d.NodeInterval(2, []uint32{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m11.Lo != 3*372+11*31 || m11.Len() != 31 {
+		t.Errorf("Month interval = %+v", m11)
+	}
+	// Leaf interval is a single ordinal.
+	leaf, err := d.NodeInterval(3, []uint32{3, 11, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Lo != leaf.Hi {
+		t.Errorf("leaf interval = %+v", leaf)
+	}
+	if _, err := d.NodeInterval(4, []uint32{0, 0, 0, 0}); err == nil {
+		t.Error("too-deep interval should fail")
+	}
+	if _, err := d.NodeInterval(2, []uint32{0}); err == nil {
+		t.Error("short prefix should fail")
+	}
+	if _, err := d.NodeInterval(1, []uint32{10}); err == nil {
+		t.Error("out-of-range prefix should fail")
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{Lo: 10, Hi: 20}
+	if a.Len() != 11 {
+		t.Error("Len wrong")
+	}
+	if !a.Contains(10) || !a.Contains(20) || a.Contains(9) || a.Contains(21) {
+		t.Error("Contains wrong")
+	}
+	if !a.Overlaps(Interval{Lo: 20, Hi: 30}) || a.Overlaps(Interval{Lo: 21, Hi: 30}) {
+		t.Error("Overlaps wrong")
+	}
+	if !a.CoveredBy(Interval{Lo: 0, Hi: 20}) || a.CoveredBy(Interval{Lo: 11, Hi: 30}) {
+		t.Error("CoveredBy wrong")
+	}
+}
+
+func TestParentInterval(t *testing.T) {
+	d := testDim(t)
+	m11, _ := d.NodeInterval(2, []uint32{3, 11})
+	parent := d.ParentInterval(m11, 2)
+	y3, _ := d.NodeInterval(1, []uint32{3})
+	if parent != y3 {
+		t.Errorf("ParentInterval = %+v, want %+v", parent, y3)
+	}
+	if d.ParentInterval(y3, 0) != y3 {
+		t.Error("depth-0 parent should be identity")
+	}
+}
+
+func TestDepthOfInterval(t *testing.T) {
+	d := testDim(t)
+	y3, _ := d.NodeInterval(1, []uint32{3})
+	if got := d.DepthOfInterval(y3); got != 1 {
+		t.Errorf("DepthOfInterval(year) = %d", got)
+	}
+	leaf, _ := d.NodeInterval(3, []uint32{0, 0, 5})
+	if got := d.DepthOfInterval(leaf); got != 3 {
+		t.Errorf("DepthOfInterval(leaf) = %d", got)
+	}
+	if got := d.DepthOfInterval(Interval{Lo: 1, Hi: 372}); got != -1 {
+		t.Errorf("unaligned interval should give -1, got %d", got)
+	}
+}
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		testDim(t),
+		MustDimension("Item", Level{Name: "Category", Fanout: 15}, Level{Name: "Brand", Fanout: 40}),
+		MustDimension("Time", Level{Name: "Hour", Fanout: 24}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema should fail")
+	}
+	dims := make([]*Dimension, 65)
+	for i := range dims {
+		dims[i] = MustDimension("D", Level{Name: "A", Fanout: 2})
+	}
+	if _, err := NewSchema(dims...); err == nil {
+		t.Error("65-dim schema should fail")
+	}
+}
+
+func TestSchemaExpandedBits(t *testing.T) {
+	s := testSchema(t)
+	// Level max bits: L0 = max(4, 4, 5) = 5; L1 = max(4, 6) = 6; L2 = 5.
+	eb := s.ExpandedBits()
+	if eb[0] != 5+6+5 {
+		t.Errorf("Date expanded bits = %d, want 16", eb[0])
+	}
+	if eb[1] != 5+6 {
+		t.Errorf("Item expanded bits = %d, want 11", eb[1])
+	}
+	if eb[2] != 5 {
+		t.Errorf("Time expanded bits = %d, want 5", eb[2])
+	}
+}
+
+// TestExpandOrdinalOrderPreserving checks the key property of the
+// Figure 3 transform: it preserves per-dimension ordinal order (it is a
+// strictly monotonic function of the ordinal).
+func TestExpandOrdinalOrderPreserving(t *testing.T) {
+	s := testSchema(t)
+	for dim := 0; dim < s.NumDims(); dim++ {
+		d := s.Dim(dim)
+		step := d.LeafCount()/2000 + 1
+		var prevOrd, prevExp uint64
+		first := true
+		for ord := uint64(0); ord < d.LeafCount(); ord += step {
+			exp := s.ExpandOrdinal(dim, ord)
+			if !first && exp <= prevExp {
+				t.Fatalf("dim %d: expand(%d)=%d <= expand(%d)=%d", dim, ord, exp, prevOrd, prevExp)
+			}
+			prevOrd, prevExp, first = ord, exp, false
+		}
+	}
+}
+
+// TestExpandOrdinalLevelAlignment verifies the example structure of
+// Figure 3: each level occupies the schema-wide maximum width for that
+// level, with narrow dimensions shifted left within their slot.
+func TestExpandOrdinalLevelAlignment(t *testing.T) {
+	a := MustDimension("A", Level{Name: "L1", Fanout: 4}, Level{Name: "L2", Fanout: 16})
+	b := MustDimension("B", Level{Name: "L1", Fanout: 16}, Level{Name: "L2", Fanout: 4})
+	s := MustSchema(a, b)
+	// Level widths: L1 = 4 bits, L2 = 4 bits; both dims expand to 8 bits.
+	eb := s.ExpandedBits()
+	if eb[0] != 8 || eb[1] != 8 {
+		t.Fatalf("expanded bits = %v", eb)
+	}
+	// A: path (3, 15) -> L1 index 3 shifted left 2 (4->2 bits used), L2
+	// index 15 unshifted: 0b11_00_1111.
+	ordA, _ := a.Ordinal([]uint32{3, 15})
+	if got := s.ExpandOrdinal(0, ordA); got != 0b11001111 {
+		t.Errorf("expand A = %08b", got)
+	}
+	// B: path (15, 3) -> L1 index 15 unshifted, L2 index 3 shifted left 2.
+	ordB, _ := b.Ordinal([]uint32{15, 3})
+	if got := s.ExpandOrdinal(1, ordB); got != 0b11111100 {
+		t.Errorf("expand B = %08b", got)
+	}
+}
+
+func TestValidatePoint(t *testing.T) {
+	s := testSchema(t)
+	if err := s.ValidatePoint([]uint64{0, 0, 0}); err != nil {
+		t.Error(err)
+	}
+	if err := s.ValidatePoint([]uint64{0, 0}); err == nil {
+		t.Error("short point should fail")
+	}
+	if err := s.ValidatePoint([]uint64{s.Dim(0).LeafCount(), 0, 0}); err == nil {
+		t.Error("out-of-range point should fail")
+	}
+}
+
+func TestSchemaEncodeDecode(t *testing.T) {
+	s := testSchema(t)
+	w := wire.NewWriter(64)
+	s.Encode(w)
+	got, err := DecodeSchema(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != s.Fingerprint() {
+		t.Error("fingerprint changed across encode/decode")
+	}
+	if got.NumDims() != s.NumDims() {
+		t.Error("dims changed")
+	}
+	for i := 0; i < s.NumDims(); i++ {
+		if got.Dim(i).String() != s.Dim(i).String() {
+			t.Errorf("dim %d: %s != %s", i, got.Dim(i), s.Dim(i))
+		}
+	}
+	// Truncated input must fail, not panic.
+	if _, err := DecodeSchema(wire.NewReader(w.Bytes()[:3])); err == nil {
+		t.Error("truncated schema should fail")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := MustSchema(MustDimension("A", Level{Name: "L", Fanout: 4}))
+	b := MustSchema(MustDimension("A", Level{Name: "L", Fanout: 5}))
+	c := MustSchema(MustDimension("B", Level{Name: "L", Fanout: 4}))
+	if a.Fingerprint() == b.Fingerprint() || a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprints should differ for different schemas")
+	}
+}
+
+// TestNodeIntervalPartition property-checks that the children of any
+// hierarchy value partition the parent's interval.
+func TestNodeIntervalPartition(t *testing.T) {
+	d := testDim(t)
+	f := func(yRaw, mRaw uint32) bool {
+		y := yRaw % 10
+		parent, err := d.NodeInterval(1, []uint32{y})
+		if err != nil {
+			return false
+		}
+		var total uint64
+		var prevHi uint64
+		for m := uint32(0); m < 12; m++ {
+			iv, err := d.NodeInterval(2, []uint32{y, m})
+			if err != nil {
+				return false
+			}
+			if !iv.CoveredBy(parent) {
+				return false
+			}
+			if m > 0 && iv.Lo != prevHi+1 {
+				return false
+			}
+			prevHi = iv.Hi
+			total += iv.Len()
+		}
+		return total == parent.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package hilbert implements compact Hilbert indices for domains with
+// unequal side lengths, following Hamilton and Rau-Chaplin ("Compact
+// Hilbert indices: Space-filling curves for domains with unequal side
+// lengths", IPL 105(5), 2008) — the construction cited by the VOLAP paper
+// for the Hilbert PDC tree.
+//
+// A Curve is parameterized by the number of dimensions n (up to 64) and a
+// bit width m_j per dimension. The compact Hilbert index of a point is its
+// rank along the standard Hilbert curve of order max(m_j) restricted to
+// the valid sub-grid, and therefore uses exactly sum(m_j) bits: no space
+// is wasted on narrow dimensions, which is what makes storing an index per
+// tree node affordable (paper §III-D). Indices may exceed 64 bits, so they
+// are stored as big-endian multi-word integers.
+package hilbert
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Curve maps points of a fixed-width multi-dimensional grid to compact
+// Hilbert indices and back. A Curve is immutable and safe for concurrent
+// use.
+type Curve struct {
+	n     int    // number of dimensions, 1..64
+	m     []uint // bits per dimension
+	maxM  uint   // max over m
+	total uint   // sum over m = index width in bits
+	words int    // words per Index
+}
+
+// New builds a curve for the given per-dimension bit widths.
+func New(bitsPerDim []uint) (*Curve, error) {
+	if len(bitsPerDim) == 0 || len(bitsPerDim) > 64 {
+		return nil, fmt.Errorf("hilbert: %d dimensions, want 1..64", len(bitsPerDim))
+	}
+	c := &Curve{n: len(bitsPerDim), m: append([]uint(nil), bitsPerDim...)}
+	for j, mj := range c.m {
+		if mj > 64 {
+			return nil, fmt.Errorf("hilbert: dimension %d has %d bits, max 64", j, mj)
+		}
+		if mj > c.maxM {
+			c.maxM = mj
+		}
+		c.total += mj
+	}
+	c.words = int((c.total + 63) / 64)
+	if c.words == 0 {
+		c.words = 1
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(bitsPerDim []uint) *Curve {
+	c, err := New(bitsPerDim)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dims returns the number of dimensions.
+func (c *Curve) Dims() int { return c.n }
+
+// TotalBits returns the width of an index in bits.
+func (c *Curve) TotalBits() uint { return c.total }
+
+// Words returns the number of 64-bit words per index.
+func (c *Curve) Words() int { return c.words }
+
+// Index is a compact Hilbert index: an unsigned integer of Curve.TotalBits
+// bits stored as big-endian 64-bit words. Indices from the same Curve have
+// equal word counts and compare lexicographically.
+type Index struct {
+	w []uint64
+}
+
+// Compare returns -1, 0, or +1 ordering a before/equal/after b. Indices
+// must come from the same curve.
+func (a Index) Compare(b Index) int {
+	for i := range a.w {
+		switch {
+		case a.w[i] < b.w[i]:
+			return -1
+		case a.w[i] > b.w[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether a orders strictly before b.
+func (a Index) Less(b Index) bool { return a.Compare(b) < 0 }
+
+// IsZero reports whether the index has no words (the zero value, distinct
+// from a curve's index 0).
+func (a Index) IsZero() bool { return a.w == nil }
+
+// Words returns a copy of the index words (big-endian).
+func (a Index) Words() []uint64 { return append([]uint64(nil), a.w...) }
+
+// IndexFromWords rebuilds an Index from Words output.
+func IndexFromWords(w []uint64) Index { return Index{w: append([]uint64(nil), w...)} }
+
+// String renders the index as fixed-width hex.
+func (a Index) String() string {
+	s := ""
+	for _, w := range a.w {
+		s += fmt.Sprintf("%016x", w)
+	}
+	return s
+}
+
+// mask returns an n-bit mask (n in 1..64).
+func mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// rotr rotates the low n bits of x right by k.
+func rotr(x uint64, k, n uint) uint64 {
+	k %= n
+	if k == 0 {
+		return x & mask(n)
+	}
+	return ((x >> k) | (x << (n - k))) & mask(n)
+}
+
+// rotl rotates the low n bits of x left by k.
+func rotl(x uint64, k, n uint) uint64 {
+	k %= n
+	if k == 0 {
+		return x & mask(n)
+	}
+	return ((x << k) | (x >> (n - k))) & mask(n)
+}
+
+// gc returns the Gray code of i.
+func gc(i uint64) uint64 { return i ^ (i >> 1) }
+
+// gcInverse returns i such that gc(i) == g, for n-bit values.
+func gcInverse(g uint64, n uint) uint64 {
+	i := g
+	for shift := uint(1); shift < n; shift <<= 1 {
+		i ^= i >> shift
+	}
+	return i & mask(n)
+}
+
+// tsb returns the number of trailing set bits of i.
+func tsb(i uint64) uint { return uint(bits.TrailingZeros64(^i)) }
+
+// entryPoint returns e(w), the entry point of the w-th sub-hypercube.
+func entryPoint(w uint64) uint64 {
+	if w == 0 {
+		return 0
+	}
+	return gc(2 * ((w - 1) / 2))
+}
+
+// direction returns d(w), the intra sub-hypercube direction, in [0, n).
+func direction(w uint64, n uint) uint {
+	switch {
+	case w == 0:
+		return 0
+	case w%2 == 0:
+		return tsb(w-1) % n
+	default:
+		return tsb(w) % n
+	}
+}
+
+// grayCodeRank extracts the bits of w at the free positions indicated by
+// mu, most significant first.
+func grayCodeRank(mu, w uint64, n uint) uint64 {
+	var r uint64
+	for k := int(n) - 1; k >= 0; k-- {
+		if mu>>uint(k)&1 == 1 {
+			r = r<<1 | (w>>uint(k))&1
+		}
+	}
+	return r
+}
+
+// grayCodeRankInverse reconstructs w from its rank r given the free-bit
+// mask mu and the forced Gray-code bit pattern pi (both in the rotated
+// frame). freeBits is popcount(mu).
+func grayCodeRankInverse(mu, pi, r uint64, n uint, freeBits int) uint64 {
+	var w uint64
+	var prev uint64 // bit k+1 of w
+	j := freeBits - 1
+	for k := int(n) - 1; k >= 0; k-- {
+		var wk uint64
+		if mu>>uint(k)&1 == 1 {
+			wk = (r >> uint(j)) & 1
+			j--
+		} else {
+			// Constrained position: the Gray-code bit l_k is forced to
+			// pi_k, and l_k = w_k xor w_{k+1}.
+			wk = ((pi >> uint(k)) & 1) ^ prev
+		}
+		w |= wk << uint(k)
+		prev = wk
+	}
+	return w
+}
+
+// shlOr shifts the big-endian multi-word integer h left by k bits
+// (0 <= k <= 64) and ors v into the vacated low bits.
+func shlOr(h []uint64, k uint, v uint64) {
+	if k == 0 {
+		return
+	}
+	if k == 64 {
+		copy(h, h[1:])
+		h[len(h)-1] = v
+		return
+	}
+	for i := 0; i < len(h)-1; i++ {
+		h[i] = h[i]<<k | h[i+1]>>(64-k)
+	}
+	h[len(h)-1] = h[len(h)-1]<<k | v
+}
+
+// readBits reads count bits (0 <= count <= 64) starting at bit offset pos
+// from the END of the used portion of h: the index occupies the low
+// `total` bits of the big-endian words, and pos counts from the most
+// significant used bit.
+func readBits(h []uint64, total, pos, count uint) uint64 {
+	if count == 0 {
+		return 0
+	}
+	// Bit positions counted from the least significant bit of the whole
+	// word array.
+	width := uint(len(h)) * 64
+	hi := width - (total - pos) // offset from MSB of array to first bit
+	var out uint64
+	for i := uint(0); i < count; i++ {
+		bitFromMSB := hi + i
+		word := bitFromMSB / 64
+		bit := 63 - bitFromMSB%64
+		out = out<<1 | (h[word]>>bit)&1
+	}
+	return out
+}
+
+// Index computes the compact Hilbert index of the point p (one coordinate
+// per dimension; coordinate j must fit in m_j bits). The result is written
+// into a freshly allocated Index.
+func (c *Curve) Index(p []uint64) (Index, error) {
+	if len(p) != c.n {
+		return Index{}, fmt.Errorf("hilbert: point has %d coords, curve has %d dims", len(p), c.n)
+	}
+	for j, v := range p {
+		if c.m[j] < 64 && v >= uint64(1)<<c.m[j] {
+			return Index{}, fmt.Errorf("hilbert: coord %d = %d exceeds %d bits", j, v, c.m[j])
+		}
+	}
+	h := make([]uint64, c.words)
+	c.indexInto(p, h)
+	return Index{w: h}, nil
+}
+
+// IndexInto is Index writing into a caller-provided word buffer of length
+// Words(), avoiding the per-call allocation on hot paths.
+func (c *Curve) IndexInto(p []uint64, buf []uint64) Index {
+	for i := range buf {
+		buf[i] = 0
+	}
+	c.indexInto(p, buf)
+	return Index{w: buf}
+}
+
+func (c *Curve) indexInto(p []uint64, h []uint64) {
+	n := uint(c.n)
+	var e uint64
+	var d uint
+	for i := int(c.maxM) - 1; i >= 0; i-- {
+		// Active dimensions at this bit position and the bit-vector l of
+		// the point's i-th bits (inactive dimensions contribute 0).
+		var mu, l uint64
+		for j := 0; j < c.n; j++ {
+			if c.m[j] > uint(i) {
+				mu |= 1 << uint(j)
+				l |= ((p[j] >> uint(i)) & 1) << uint(j)
+			}
+		}
+		muR := rotr(mu, d+1, n)
+		lT := rotr(l^e, d+1, n) // T_{e,d}(l)
+		w := gcInverse(lT, n)
+		r := grayCodeRank(muR, w, n)
+		shlOr(h, uint(bits.OnesCount64(mu)), r)
+		e ^= rotl(entryPoint(w), d+1, n)
+		d = (d + direction(w, n) + 1) % n
+	}
+}
+
+// Coords decodes an index produced by this curve back into point
+// coordinates. It is the inverse of Index and exists chiefly so that the
+// encoder can be property-tested for bijectivity.
+func (c *Curve) Coords(idx Index) ([]uint64, error) {
+	if len(idx.w) != c.words {
+		return nil, fmt.Errorf("hilbert: index has %d words, curve has %d", len(idx.w), c.words)
+	}
+	p := make([]uint64, c.n)
+	n := uint(c.n)
+	var e uint64
+	var d uint
+	pos := uint(0)
+	for i := int(c.maxM) - 1; i >= 0; i-- {
+		var mu uint64
+		for j := 0; j < c.n; j++ {
+			if c.m[j] > uint(i) {
+				mu |= 1 << uint(j)
+			}
+		}
+		free := bits.OnesCount64(mu)
+		muR := rotr(mu, d+1, n)
+		pi := rotr(e, d+1, n) &^ muR
+		r := readBits(idx.w, c.total, pos, uint(free))
+		pos += uint(free)
+		w := grayCodeRankInverse(muR, pi, r, n, free)
+		l := gc(w)
+		l = rotl(l, d+1, n) ^ e // T^{-1}_{e,d}
+		for j := 0; j < c.n; j++ {
+			if c.m[j] > uint(i) {
+				p[j] |= ((l >> uint(j)) & 1) << uint(i)
+			}
+		}
+		e ^= rotl(entryPoint(w), d+1, n)
+		d = (d + direction(w, n) + 1) % n
+	}
+	return p, nil
+}

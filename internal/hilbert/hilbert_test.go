@@ -1,0 +1,360 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// order2D is the expected visiting order of the classic first-order 2-D
+// Hilbert curve produced by this implementation; the exact orientation is
+// implementation-defined, so the test below checks curve properties rather
+// than one fixed layout.
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) should fail")
+	}
+	if _, err := New(make([]uint, 65)); err == nil {
+		t.Error("New with 65 dims should fail")
+	}
+	if _, err := New([]uint{65}); err == nil {
+		t.Error("New with 65-bit dim should fail")
+	}
+	c, err := New([]uint{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalBits() != 8 {
+		t.Errorf("TotalBits = %d, want 8", c.TotalBits())
+	}
+	if c.Words() != 1 {
+		t.Errorf("Words = %d, want 1", c.Words())
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	c := MustNew([]uint{2, 2})
+	if _, err := c.Index([]uint64{1}); err == nil {
+		t.Error("short point should fail")
+	}
+	if _, err := c.Index([]uint64{4, 0}); err == nil {
+		t.Error("out-of-range coordinate should fail")
+	}
+}
+
+// TestBijective2D exhaustively checks that the 2-D curve of order 5 is a
+// bijection onto [0, 2^10).
+func TestBijective2D(t *testing.T) {
+	c := MustNew([]uint{5, 5})
+	seen := make(map[string][]uint64)
+	for x := uint64(0); x < 32; x++ {
+		for y := uint64(0); y < 32; y++ {
+			idx, err := c.Index([]uint64{x, y})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := idx.String()
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("index collision: (%d,%d) and %v -> %s", x, y, prev, key)
+			}
+			seen[key] = []uint64{x, y}
+		}
+	}
+	if len(seen) != 1024 {
+		t.Fatalf("got %d distinct indices, want 1024", len(seen))
+	}
+}
+
+// TestAdjacency checks the defining locality property of a Hilbert curve
+// with equal side lengths: consecutive index values map to points that
+// differ by exactly 1 in exactly one coordinate.
+func TestAdjacency(t *testing.T) {
+	cases := []struct {
+		name string
+		m    []uint
+	}{
+		{"2d-order4", []uint{4, 4}},
+		{"3d-order3", []uint{3, 3, 3}},
+		{"4d-order2", []uint{2, 2, 2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.m)
+			total := uint64(1) << c.TotalBits()
+			var prev []uint64
+			for h := uint64(0); h < total; h++ {
+				idx := Index{w: []uint64{h}}
+				p, err := c.Coords(idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev != nil {
+					diffDims, manhattan := 0, uint64(0)
+					for j := range p {
+						if p[j] != prev[j] {
+							diffDims++
+							d := p[j] - prev[j]
+							if prev[j] > p[j] {
+								d = prev[j] - p[j]
+							}
+							manhattan += d
+						}
+					}
+					if diffDims != 1 || manhattan != 1 {
+						t.Fatalf("h=%d: %v -> %v not adjacent", h, prev, p)
+					}
+				}
+				prev = p
+			}
+		})
+	}
+}
+
+// TestRoundTrip checks Index/Coords are inverse on random points for a
+// variety of unequal bit widths, including multi-word indices.
+func TestRoundTrip(t *testing.T) {
+	cases := [][]uint{
+		{1},
+		{7},
+		{1, 1},
+		{3, 5},
+		{0, 4},
+		{4, 0, 2},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{19, 19, 16, 9, 17, 5, 7, 11}, // TPC-DS-like widths
+		{12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12, 12}, // 16 dims, 192 bits
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range cases {
+		c := MustNew(m)
+		for trial := 0; trial < 200; trial++ {
+			p := make([]uint64, len(m))
+			for j := range p {
+				if m[j] > 0 {
+					p[j] = rng.Uint64() & mask(m[j])
+				}
+			}
+			idx, err := c.Index(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := c.Coords(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range p {
+				if p[j] != q[j] {
+					t.Fatalf("m=%v p=%v roundtrip=%v", m, p, q)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactMatchesPaddedOrder checks the central theorem of compact
+// Hilbert indices: the compact index orders points exactly as the standard
+// Hilbert curve of order max(m_j) does when narrow coordinates are
+// zero-padded.
+func TestCompactMatchesPaddedOrder(t *testing.T) {
+	m := []uint{2, 5, 3}
+	compact := MustNew(m)
+	padded := MustNew([]uint{5, 5, 5})
+	rng := rand.New(rand.NewSource(7))
+	type pair struct{ c, p Index }
+	pts := make([]pair, 0, 300)
+	for i := 0; i < 300; i++ {
+		p := []uint64{rng.Uint64() & mask(m[0]), rng.Uint64() & mask(m[1]), rng.Uint64() & mask(m[2])}
+		ci, err := compact.Index(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := padded.Index(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, pair{ci, pi})
+	}
+	for i := range pts {
+		for j := range pts {
+			co := pts[i].c.Compare(pts[j].c)
+			po := pts[i].p.Compare(pts[j].p)
+			if co != po {
+				t.Fatalf("order mismatch: compact %d vs padded %d for points %d,%d", co, po, i, j)
+			}
+		}
+	}
+}
+
+// TestBijectiveCompact exhaustively checks bijectivity for a small
+// unequal-width curve: every point maps to a distinct index, indices are
+// dense in [0, 2^total), and decode inverts encode.
+func TestBijectiveCompact(t *testing.T) {
+	m := []uint{2, 3, 1}
+	c := MustNew(m)
+	total := 1 << c.TotalBits()
+	hits := make([]bool, total)
+	for x := uint64(0); x < 4; x++ {
+		for y := uint64(0); y < 8; y++ {
+			for z := uint64(0); z < 2; z++ {
+				idx, err := c.Index([]uint64{x, y, z})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v := idx.w[0]
+				if v >= uint64(total) {
+					t.Fatalf("index %d out of range", v)
+				}
+				if hits[v] {
+					t.Fatalf("index %d hit twice", v)
+				}
+				hits[v] = true
+				q, err := c.Coords(idx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if q[0] != x || q[1] != y || q[2] != z {
+					t.Fatalf("roundtrip (%d,%d,%d) -> %v", x, y, z, q)
+				}
+			}
+		}
+	}
+	for v, ok := range hits {
+		if !ok {
+			t.Fatalf("index %d never produced", v)
+		}
+	}
+}
+
+// TestRoundTripQuick property-tests the encode/decode inverse with
+// testing/quick over a fixed high-dimensional curve.
+func TestRoundTripQuick(t *testing.T) {
+	m := []uint{9, 3, 14, 1, 6, 22, 4, 8, 10, 2}
+	c := MustNew(m)
+	f := func(raw [10]uint64) bool {
+		p := make([]uint64, len(m))
+		for j := range p {
+			p[j] = raw[j] & mask(m[j])
+		}
+		idx, err := c.Index(p)
+		if err != nil {
+			return false
+		}
+		q, err := c.Coords(idx)
+		if err != nil {
+			return false
+		}
+		for j := range p {
+			if p[j] != q[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexCompare(t *testing.T) {
+	a := Index{w: []uint64{0, 5}}
+	b := Index{w: []uint64{0, 9}}
+	c := Index{w: []uint64{1, 0}}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("single-word compare wrong")
+	}
+	if b.Compare(c) != -1 {
+		t.Error("multi-word compare wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less wrong")
+	}
+}
+
+func TestIndexWordsRoundTrip(t *testing.T) {
+	a := Index{w: []uint64{3, 14, 15}}
+	b := IndexFromWords(a.Words())
+	if a.Compare(b) != 0 {
+		t.Error("IndexFromWords(Words()) != original")
+	}
+	var zero Index
+	if !zero.IsZero() || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if mask(64) != ^uint64(0) || mask(3) != 7 || mask(0) != 0 {
+		t.Error("mask wrong")
+	}
+	if rotr(0b001, 1, 3) != 0b100 {
+		t.Errorf("rotr wrong: %b", rotr(0b001, 1, 3))
+	}
+	if rotl(0b100, 1, 3) != 0b001 {
+		t.Errorf("rotl wrong: %b", rotl(0b100, 1, 3))
+	}
+	for i := uint64(0); i < 64; i++ {
+		if gcInverse(gc(i), 6) != i {
+			t.Fatalf("gcInverse(gc(%d)) = %d", i, gcInverse(gc(i), 6))
+		}
+	}
+	if tsb(0b0111) != 3 || tsb(0b0110) != 0 {
+		t.Error("tsb wrong")
+	}
+}
+
+func TestShlOr(t *testing.T) {
+	h := []uint64{0, 0}
+	shlOr(h, 4, 0xF)
+	if h[0] != 0 || h[1] != 0xF {
+		t.Fatalf("after first shlOr: %x", h)
+	}
+	shlOr(h, 64, 0xABCD)
+	if h[0] != 0xF || h[1] != 0xABCD {
+		t.Fatalf("after 64-bit shlOr: %x", h)
+	}
+	shlOr(h, 8, 0x11)
+	if h[0] != 0xF00 || h[1] != 0xABCD11 {
+		t.Fatalf("after 8-bit shlOr: %x", h)
+	}
+}
+
+func TestReadBits(t *testing.T) {
+	// Index of 12 bits spread over one word: value 0xABC.
+	h := []uint64{0xABC}
+	if got := readBits(h, 12, 0, 4); got != 0xA {
+		t.Fatalf("readBits(0,4) = %x", got)
+	}
+	if got := readBits(h, 12, 4, 8); got != 0xBC {
+		t.Fatalf("readBits(4,8) = %x", got)
+	}
+	if got := readBits(h, 12, 0, 0); got != 0 {
+		t.Fatalf("readBits count=0 = %x", got)
+	}
+}
+
+func BenchmarkIndex8Dim(b *testing.B) {
+	c := MustNew([]uint{19, 19, 16, 9, 17, 5, 7, 11})
+	p := []uint64{123456, 654321, 40000, 300, 99999, 17, 80, 1000}
+	buf := make([]uint64, c.Words())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.IndexInto(p, buf)
+	}
+}
+
+func BenchmarkIndex64Dim(b *testing.B) {
+	m := make([]uint, 64)
+	p := make([]uint64, 64)
+	for i := range m {
+		m[i] = 8
+		p[i] = uint64(i * 3)
+	}
+	c := MustNew(m)
+	buf := make([]uint64, c.Words())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.IndexInto(p, buf)
+	}
+}

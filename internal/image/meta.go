@@ -1,0 +1,218 @@
+// Package image implements VOLAP's system image (§III-B): the global
+// cluster state stored in the coordination service, and the server-side
+// local image — a modified PDC tree over shard bounding boxes used to
+// route every insertion and query (§III-C).
+package image
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+	"repro/internal/wire"
+)
+
+// Coordination-tree layout. All VOLAP state lives under /volap.
+const (
+	PathRoot    = "/volap"
+	PathConfig  = "/volap/config"
+	PathWorkers = "/volap/workers"
+	PathServers = "/volap/servers"
+	PathShards  = "/volap/shards"
+)
+
+// WorkerPath returns the coordination path of a worker's metadata node.
+func WorkerPath(id string) string { return PathWorkers + "/" + id }
+
+// ServerPath returns the coordination path of a server's metadata node.
+func ServerPath(id string) string { return PathServers + "/" + id }
+
+// ShardPath returns the coordination path of a shard's metadata node.
+func ShardPath(id ShardID) string {
+	return PathShards + "/" + strconv.FormatUint(uint64(id), 10)
+}
+
+// ParseShardPath extracts the shard ID from a shard metadata path.
+func ParseShardPath(path string) (ShardID, bool) {
+	if len(path) <= len(PathShards)+1 || path[:len(PathShards)+1] != PathShards+"/" {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(path[len(PathShards)+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ShardID(v), true
+}
+
+// ShardID identifies a shard globally.
+type ShardID uint64
+
+// String renders the ID.
+func (id ShardID) String() string { return strconv.FormatUint(uint64(id), 10) }
+
+// ShardMeta is the global record of one shard: where it lives, what space
+// it covers, and how big it is (§III-B: "for each shard its size,
+// bounding box, and the address of the worker where it is located").
+type ShardMeta struct {
+	ID     ShardID
+	Worker string // owning worker ID
+	Key    *keys.Key
+	Count  uint64
+}
+
+// Encode serializes the record.
+func (m *ShardMeta) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.ID))
+	w.String(m.Worker)
+	m.Key.Encode(w)
+	w.Uvarint(m.Count)
+}
+
+// EncodeBytes serializes the record to a fresh buffer.
+func (m *ShardMeta) EncodeBytes() []byte {
+	w := wire.NewWriter(64)
+	m.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeShardMeta reads a record serialized by Encode.
+func DecodeShardMeta(r *wire.Reader) (*ShardMeta, error) {
+	m := &ShardMeta{ID: ShardID(r.Uvarint()), Worker: r.String()}
+	k, err := keys.DecodeKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("image: shard key: %w", err)
+	}
+	m.Key = k
+	m.Count = r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return m, nil
+}
+
+// DecodeShardMetaBytes decodes from a buffer.
+func DecodeShardMetaBytes(b []byte) (*ShardMeta, error) {
+	return DecodeShardMeta(wire.NewReader(b))
+}
+
+// WorkerMeta is the global record of one worker node.
+type WorkerMeta struct {
+	ID        string
+	Addr      string // netmsg address
+	Shards    uint32
+	Items     uint64
+	MemBytes  uint64
+	UpdatedMs int64 // wall-clock of last stats push, unix milliseconds
+}
+
+// EncodeBytes serializes the record.
+func (m *WorkerMeta) EncodeBytes() []byte {
+	w := wire.NewWriter(64)
+	w.String(m.ID)
+	w.String(m.Addr)
+	w.Uvarint(uint64(m.Shards))
+	w.Uvarint(m.Items)
+	w.Uvarint(m.MemBytes)
+	w.Varint(m.UpdatedMs)
+	return w.Bytes()
+}
+
+// DecodeWorkerMetaBytes decodes from a buffer.
+func DecodeWorkerMetaBytes(b []byte) (*WorkerMeta, error) {
+	r := wire.NewReader(b)
+	m := &WorkerMeta{
+		ID:     r.String(),
+		Addr:   r.String(),
+		Shards: uint32(r.Uvarint()),
+		Items:  r.Uvarint(),
+	}
+	m.MemBytes = r.Uvarint()
+	m.UpdatedMs = r.Varint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return m, nil
+}
+
+// ServerMeta is the global record of one server node.
+type ServerMeta struct {
+	ID   string
+	Addr string
+}
+
+// EncodeBytes serializes the record.
+func (m *ServerMeta) EncodeBytes() []byte {
+	w := wire.NewWriter(32)
+	w.String(m.ID)
+	w.String(m.Addr)
+	return w.Bytes()
+}
+
+// DecodeServerMetaBytes decodes from a buffer.
+func DecodeServerMetaBytes(b []byte) (*ServerMeta, error) {
+	r := wire.NewReader(b)
+	m := &ServerMeta{ID: r.String(), Addr: r.String()}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return m, nil
+}
+
+// ClusterConfig is the global, immutable configuration every component
+// reads at startup: the schema and the shard store parameters.
+type ClusterConfig struct {
+	Schema       *hierarchy.Schema
+	Store        core.StoreKind
+	Keys         keys.Kind
+	MDSCap       int
+	LeafCapacity int
+	DirCapacity  int
+}
+
+// StoreConfig converts to a shard store configuration.
+func (c *ClusterConfig) StoreConfig() core.Config {
+	return core.Config{
+		Schema:       c.Schema,
+		Store:        c.Store,
+		Keys:         c.Keys,
+		MDSCap:       c.MDSCap,
+		LeafCapacity: c.LeafCapacity,
+		DirCapacity:  c.DirCapacity,
+	}
+}
+
+// EncodeBytes serializes the configuration.
+func (c *ClusterConfig) EncodeBytes() []byte {
+	w := wire.NewWriter(128)
+	w.Uint8(uint8(c.Store))
+	w.Uint8(uint8(c.Keys))
+	w.Uvarint(uint64(c.MDSCap))
+	w.Uvarint(uint64(c.LeafCapacity))
+	w.Uvarint(uint64(c.DirCapacity))
+	c.Schema.Encode(w)
+	w.Uint64(c.Schema.Fingerprint())
+	return w.Bytes()
+}
+
+// DecodeClusterConfigBytes decodes from a buffer.
+func DecodeClusterConfigBytes(b []byte) (*ClusterConfig, error) {
+	r := wire.NewReader(b)
+	c := &ClusterConfig{
+		Store:        core.StoreKind(r.Uint8()),
+		Keys:         keys.Kind(r.Uint8()),
+		MDSCap:       int(r.Uvarint()),
+		LeafCapacity: int(r.Uvarint()),
+		DirCapacity:  int(r.Uvarint()),
+	}
+	schema, err := hierarchy.DecodeSchema(r)
+	if err != nil {
+		return nil, fmt.Errorf("image: cluster schema: %w", err)
+	}
+	c.Schema = schema
+	if fp := r.Uint64(); fp != schema.Fingerprint() || r.Err() != nil {
+		return nil, fmt.Errorf("image: cluster config corrupt")
+	}
+	return c, nil
+}

@@ -1,0 +1,496 @@
+// Package manager implements VOLAP's manager background process (§III-A,
+// §III-E): it periodically analyzes the system state stored in the
+// coordination service, decides on load-balancing operations, and
+// coordinates the necessary splits and migrations between workers. The
+// manager sits outside the insert/query data path entirely — it is "not a
+// bottleneck for insertion or query performance, and can reside anywhere
+// in the system".
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/image"
+	"repro/internal/netmsg"
+	"repro/internal/wire"
+	"repro/internal/worker"
+)
+
+// Options configures the manager.
+type Options struct {
+	Coord coord.Coordinator
+	// Interval between balancing passes of the background loop.
+	Interval time.Duration
+	// Ratio is the max/min worker-load imbalance that triggers action
+	// (default 1.25).
+	Ratio float64
+	// MinMoveItems suppresses balancing when the absolute gap is noise
+	// (default 512 items).
+	MinMoveItems uint64
+	// MaxOpsPerPass caps splits+migrations per pass (default 4).
+	MaxOpsPerPass int
+	// MaxShardItems splits any shard that grows beyond this many items,
+	// regardless of balance (0 disables; memory-pressure guard).
+	MaxShardItems uint64
+}
+
+// Stats counts the manager's balancing activity (Figure 6 reports these
+// over time).
+type Stats struct {
+	Passes     uint64
+	Splits     uint64
+	Migrations uint64
+	MovedItems uint64
+}
+
+// Manager is the load-balancing process.
+type Manager struct {
+	opts Options
+
+	mu    sync.Mutex
+	conns map[string]*netmsg.Client
+	stats Stats
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a manager.
+func New(opts Options) (*Manager, error) {
+	if opts.Coord == nil {
+		return nil, errors.New("manager: coordinator required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Ratio <= 1 {
+		opts.Ratio = 1.25
+	}
+	if opts.MinMoveItems == 0 {
+		opts.MinMoveItems = 512
+	}
+	if opts.MaxOpsPerPass <= 0 {
+		opts.MaxOpsPerPass = 4
+	}
+	return &Manager{opts: opts, conns: make(map[string]*netmsg.Client), stop: make(chan struct{})}, nil
+}
+
+// Start launches the background balancing loop.
+func (m *Manager) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		tick := time.NewTicker(m.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				_, _ = m.RunPass()
+			}
+		}
+	}()
+}
+
+// Close stops the loop and drops worker connections.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		m.wg.Wait()
+		m.mu.Lock()
+		for _, c := range m.conns {
+			c.Close()
+		}
+		m.conns = map[string]*netmsg.Client{}
+		m.mu.Unlock()
+	})
+}
+
+// Stats snapshots the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) client(addr string) (*netmsg.Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := netmsg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	m.conns[addr] = c
+	return c, nil
+}
+
+// workerView is the manager's per-pass picture of one worker.
+type workerView struct {
+	meta   *image.WorkerMeta
+	shards map[image.ShardID]uint64 // live per-shard counts
+	load   uint64
+}
+
+// observe builds the cluster picture: worker metadata from the global
+// image plus live per-shard counts straight from the workers.
+func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.ShardMeta, error) {
+	co := m.opts.Coord
+	names, err := co.Children(image.PathWorkers)
+	if err != nil {
+		return nil, nil, err
+	}
+	views := make(map[string]*workerView)
+	for _, name := range names {
+		raw, _, err := co.Get(image.WorkerPath(name))
+		if err != nil {
+			continue
+		}
+		meta, err := image.DecodeWorkerMetaBytes(raw)
+		if err != nil {
+			continue
+		}
+		v := &workerView{meta: meta, shards: map[image.ShardID]uint64{}}
+		if c, err := m.client(meta.Addr); err == nil {
+			if resp, err := c.Request("worker.shardcounts", nil); err == nil {
+				if counts, err := worker.DecodeShardCounts(resp); err == nil {
+					v.shards = counts
+				}
+			}
+		}
+		for _, n := range v.shards {
+			v.load += n
+		}
+		views[meta.ID] = v
+	}
+
+	shardNames, err := co.Children(image.PathShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards := make(map[image.ShardID]*image.ShardMeta)
+	for _, name := range shardNames {
+		raw, _, err := co.Get(image.PathShards + "/" + name)
+		if err != nil {
+			continue
+		}
+		meta, err := image.DecodeShardMetaBytes(raw)
+		if err != nil {
+			continue
+		}
+		shards[meta.ID] = meta
+	}
+	return views, shards, nil
+}
+
+// RunPass analyzes the system and performs at most MaxOpsPerPass
+// balancing operations. It returns the number of operations performed.
+func (m *Manager) RunPass() (int, error) {
+	m.mu.Lock()
+	m.stats.Passes++
+	m.mu.Unlock()
+
+	ops := 0
+	for ops < m.opts.MaxOpsPerPass {
+		views, shards, err := m.observe()
+		if err != nil {
+			return ops, err
+		}
+		if len(views) < 2 {
+			return ops, nil
+		}
+		acted, err := m.balanceOnce(views, shards)
+		if err != nil {
+			return ops, err
+		}
+		if !acted {
+			return ops, nil
+		}
+		ops++
+	}
+	return ops, nil
+}
+
+// balanceOnce performs one split or migration if the system needs it.
+func (m *Manager) balanceOnce(views map[string]*workerView, shards map[image.ShardID]*image.ShardMeta) (bool, error) {
+	// Oversized-shard guard first (memory pressure, §III-E example).
+	if m.opts.MaxShardItems > 0 {
+		for id, meta := range shards {
+			v := views[meta.Worker]
+			if v == nil {
+				continue
+			}
+			if n := v.shards[id]; n > m.opts.MaxShardItems {
+				return true, m.splitShard(v, id)
+			}
+		}
+	}
+
+	// Identify donor (max load) and recipient (min load).
+	var donor, recipient *workerView
+	for _, v := range views {
+		if donor == nil || v.load > donor.load {
+			donor = v
+		}
+		if recipient == nil || v.load < recipient.load {
+			recipient = v
+		}
+	}
+	if donor == nil || recipient == nil || donor == recipient {
+		return false, nil
+	}
+	gap := donor.load - recipient.load
+	if gap < m.opts.MinMoveItems {
+		return false, nil
+	}
+	if recipient.load > 0 && float64(donor.load)/float64(recipient.load) <= m.opts.Ratio {
+		return false, nil
+	}
+
+	// Choose the donor shard whose size is closest to half the gap.
+	target := gap / 2
+	var bestID image.ShardID
+	var bestN uint64
+	found := false
+	for id, n := range donor.shards {
+		if n == 0 {
+			continue
+		}
+		if !found || absDiff(n, target) < absDiff(bestN, target) {
+			bestID, bestN, found = id, n, true
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	// If even the best choice overshoots badly, split it first so the
+	// next round has a right-sized piece ("the load balancer requires
+	// smaller shards for migration", §III-E).
+	if bestN > target+target/2 && bestN >= 2*m.opts.MinMoveItems {
+		return true, m.splitShard(donor, bestID)
+	}
+	return true, m.migrateShard(donor, recipient, bestID)
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// splitShard allocates a new shard ID and splits on the owning worker,
+// then records both halves in the global image.
+func (m *Manager) splitShard(v *workerView, id image.ShardID) error {
+	newID, err := AllocShardIDs(m.opts.Coord, 1)
+	if err != nil {
+		return err
+	}
+	c, err := m.client(v.meta.Addr)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Request("worker.splitshard", worker.EncodeSplitRequest(id, newID))
+	if err != nil {
+		return err
+	}
+	res, err := worker.DecodeSplitResult(resp)
+	if err != nil {
+		return err
+	}
+	// Update the global image: shrink the old record, add the new one.
+	if err := m.updateShardMeta(id, func(meta *image.ShardMeta) {
+		meta.Key = res.LeftKey
+		meta.Count = res.LeftCount
+	}); err != nil {
+		return err
+	}
+	newMeta := &image.ShardMeta{ID: newID, Worker: v.meta.ID, Key: res.RightKey, Count: res.RightCount}
+	if _, err := m.opts.Coord.CreateOrSet(image.ShardPath(newID), newMeta.EncodeBytes()); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.stats.Splits++
+	m.mu.Unlock()
+	return nil
+}
+
+// migrateShard ships a shard from donor to recipient and flips ownership
+// in the global image.
+func (m *Manager) migrateShard(donor, recipient *workerView, id image.ShardID) error {
+	c, err := m.client(donor.meta.Addr)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Request("worker.sendshard", worker.EncodeSendRequest(id, recipient.meta.Addr))
+	if err != nil {
+		return err
+	}
+	moved := wire.NewReader(resp).Uvarint()
+	if err := m.updateShardMeta(id, func(meta *image.ShardMeta) {
+		meta.Worker = recipient.meta.ID
+		if moved > meta.Count {
+			meta.Count = moved
+		}
+	}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.stats.Migrations++
+	m.stats.MovedItems += moved
+	m.mu.Unlock()
+	return nil
+}
+
+// updateShardMeta applies a mutation to a shard's global record with a
+// compare-and-set retry loop, preserving concurrent server-side
+// bounding-box merges.
+func (m *Manager) updateShardMeta(id image.ShardID, mutate func(*image.ShardMeta)) error {
+	co := m.opts.Coord
+	for attempt := 0; attempt < 16; attempt++ {
+		raw, version, err := co.Get(image.ShardPath(id))
+		if err != nil {
+			return err
+		}
+		meta, err := image.DecodeShardMetaBytes(raw)
+		if err != nil {
+			return err
+		}
+		mutate(meta)
+		_, err = co.Set(image.ShardPath(id), meta.EncodeBytes(), version)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, coord.ErrBadVersion) {
+			return err
+		}
+	}
+	return fmt.Errorf("manager: shard %d meta update contended", id)
+}
+
+// AllocShardIDs reserves n consecutive shard IDs from the global counter
+// and returns the first. The counter is seeded above any shard already
+// registered in the image, so clusters bootstrapped without the counter
+// still allocate fresh IDs.
+func AllocShardIDs(co coord.Coordinator, n uint64) (image.ShardID, error) {
+	const path = image.PathRoot + "/nextshard"
+	for attempt := 0; attempt < 64; attempt++ {
+		raw, version, err := co.Get(path)
+		if errors.Is(err, coord.ErrNoNode) {
+			var first uint64
+			if names, err := co.Children(image.PathShards); err == nil {
+				for _, name := range names {
+					if id, ok := image.ParseShardPath(image.PathShards + "/" + name); ok && uint64(id) >= first {
+						first = uint64(id) + 1
+					}
+				}
+			}
+			w := wire.NewWriter(8)
+			w.Uvarint(first + n)
+			if _, cerr := co.Create(path, w.Bytes()); cerr == nil {
+				return image.ShardID(first), nil
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		next := wire.NewReader(raw).Uvarint()
+		w := wire.NewWriter(8)
+		w.Uvarint(next + n)
+		if _, err := co.Set(path, w.Bytes(), version); err == nil {
+			return image.ShardID(next), nil
+		} else if !errors.Is(err, coord.ErrBadVersion) {
+			return 0, err
+		}
+	}
+	return 0, errors.New("manager: shard ID allocation contended")
+}
+
+// DrainWorker migrates every shard off the given worker, distributing
+// them across the least-loaded remaining workers — the "workers ... can
+// be removed as necessary" half of VOLAP's elasticity (§I, §III-E). The
+// worker keeps forwarding for stragglers afterwards; decommission it only
+// after servers have caught up (a few sync intervals).
+func (m *Manager) DrainWorker(workerID string) (int, error) {
+	moved := 0
+	for {
+		views, _, err := m.observe()
+		if err != nil {
+			return moved, err
+		}
+		src := views[workerID]
+		if src == nil {
+			return moved, fmt.Errorf("manager: unknown worker %q", workerID)
+		}
+		if len(src.shards) == 0 {
+			return moved, nil
+		}
+		if len(views) < 2 {
+			return moved, errors.New("manager: no other worker to drain to")
+		}
+		// Pick the largest remaining shard and the least-loaded peer.
+		var shard image.ShardID
+		var shardN uint64
+		first := true
+		for id, n := range src.shards {
+			if first || n > shardN {
+				shard, shardN, first = id, n, false
+			}
+		}
+		var dst *workerView
+		for id, v := range views {
+			if id == workerID {
+				continue
+			}
+			if dst == nil || v.load < dst.load {
+				dst = v
+			}
+		}
+		if err := m.migrateShard(src, dst, shard); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+}
+
+// Loads summarizes current per-worker item counts (exposed for the
+// Figure 6 bench and examples).
+func (m *Manager) Loads() (map[string]uint64, error) {
+	views, _, err := m.observe()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(views))
+	for id, v := range views {
+		out[id] = v.load
+	}
+	return out, nil
+}
+
+// SortedLoads returns loads as (workerID, items) pairs ordered by ID.
+func (m *Manager) SortedLoads() ([]string, []uint64, error) {
+	loads, err := m.Loads()
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]string, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ns := make([]uint64, len(ids))
+	for i, id := range ids {
+		ns[i] = loads[id]
+	}
+	return ids, ns, nil
+}

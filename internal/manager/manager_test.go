@@ -1,0 +1,398 @@
+package manager
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/worker"
+)
+
+var seq int
+
+type harness struct {
+	t       *testing.T
+	store   *coord.Store
+	cfg     *image.ClusterConfig
+	workers map[string]*worker.Worker
+	nextID  image.ShardID
+}
+
+func newHarness(t *testing.T, workers int) *harness {
+	t.Helper()
+	seq++
+	schema := hierarchy.MustSchema(
+		hierarchy.MustDimension("A",
+			hierarchy.Level{Name: "L1", Fanout: 10},
+			hierarchy.Level{Name: "L2", Fanout: 10}),
+		hierarchy.MustDimension("B",
+			hierarchy.Level{Name: "L1", Fanout: 40}),
+	)
+	h := &harness{
+		t:     t,
+		store: coord.NewStore(),
+		cfg: &image.ClusterConfig{
+			Schema: schema, Store: core.StoreHilbertPDC, Keys: keys.MDS,
+			MDSCap: 4, LeafCapacity: 32, DirCapacity: 8,
+		},
+		workers: make(map[string]*worker.Worker),
+	}
+	if _, err := h.store.Create(image.PathConfig, h.cfg.EncodeBytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		h.addWorker()
+	}
+	t.Cleanup(h.store.Close)
+	return h
+}
+
+func (h *harness) addWorker() string {
+	h.t.Helper()
+	id := fmt.Sprintf("w%d", len(h.workers))
+	w := worker.New(id, h.cfg)
+	addr, err := w.Listen(fmt.Sprintf("inproc://mgrtest%d-%s", seq, id))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(w.Close)
+	meta := &image.WorkerMeta{ID: id, Addr: addr, UpdatedMs: time.Now().UnixMilli()}
+	if _, err := h.store.CreateOrSet(image.WorkerPath(id), meta.EncodeBytes()); err != nil {
+		h.t.Fatal(err)
+	}
+	h.workers[id] = w
+	return id
+}
+
+// addShard creates a shard with n skewed items on the given worker and
+// registers it globally.
+func (h *harness) addShard(workerID string, n int, rng *rand.Rand) image.ShardID {
+	h.t.Helper()
+	id := h.nextID
+	h.nextID++
+	w := h.workers[workerID]
+	if err := w.CreateShard(id); err != nil {
+		h.t.Fatal(err)
+	}
+	items := make([]core.Item, n)
+	for i := range items {
+		items[i] = core.Item{Coords: []uint64{uint64(rng.Intn(100)), uint64(rng.Intn(40))}, Measure: 1}
+	}
+	if n > 0 {
+		if err := w.Insert(id, items); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	k := keys.NewEmpty(keys.MDS, 2, 4)
+	for _, it := range items {
+		k.ExtendPoint(it.Coords)
+	}
+	sm := &image.ShardMeta{ID: id, Worker: workerID, Key: k, Count: uint64(n)}
+	if _, err := h.store.CreateOrSet(image.ShardPath(id), sm.EncodeBytes()); err != nil {
+		h.t.Fatal(err)
+	}
+	return id
+}
+
+func (h *harness) totalItems() uint64 {
+	var total uint64
+	for _, w := range h.workers {
+		total += w.Meta().Items
+	}
+	return total
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("missing coordinator should fail")
+	}
+	st := coord.NewStore()
+	defer st.Close()
+	m, err := New(Options{Coord: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.opts.Ratio != 1.25 || m.opts.MinMoveItems != 512 || m.opts.MaxOpsPerPass != 4 {
+		t.Errorf("defaults = %+v", m.opts)
+	}
+}
+
+func TestNoWorkersNoAction(t *testing.T) {
+	h := newHarness(t, 1)
+	m, _ := New(Options{Coord: h.store})
+	defer m.Close()
+	ops, err := m.RunPass()
+	if err != nil || ops != 0 {
+		t.Fatalf("single-worker pass = %d %v", ops, err)
+	}
+}
+
+// TestMigrationBalances puts all data on one worker and checks the
+// manager evens things out without losing items.
+func TestMigrationBalances(t *testing.T) {
+	h := newHarness(t, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		h.addShard("w0", 1000, rng)
+	}
+	m, _ := New(Options{Coord: h.store, Ratio: 1.2, MinMoveItems: 100})
+	defer m.Close()
+
+	for pass := 0; pass < 10; pass++ {
+		ops, err := m.RunPass()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ops == 0 {
+			break
+		}
+	}
+	st := m.Stats()
+	if st.Migrations == 0 {
+		t.Fatalf("no migrations: %+v", st)
+	}
+	if h.totalItems() != 4000 {
+		t.Fatalf("items = %d, want 4000", h.totalItems())
+	}
+	loads, err := m.Loads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads["w1"] == 0 {
+		t.Fatalf("w1 still empty: %v", loads)
+	}
+	ratio := float64(max64(loads["w0"], loads["w1"])) / float64(min64nz(loads["w0"], loads["w1"]))
+	if ratio > 2.5 {
+		t.Errorf("still badly imbalanced: %v", loads)
+	}
+	// Ownership flipped in the global image for migrated shards.
+	flipped := 0
+	for id := image.ShardID(0); id < 4; id++ {
+		raw, _, err := h.store.Get(image.ShardPath(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, _ := image.DecodeShardMetaBytes(raw)
+		if meta.Worker == "w1" {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Error("no shard ownership changed in the image")
+	}
+}
+
+// TestSplitWhenShardTooBig: one giant shard must be split before moving.
+func TestSplitWhenShardTooBig(t *testing.T) {
+	h := newHarness(t, 2)
+	rng := rand.New(rand.NewSource(2))
+	h.addShard("w0", 4000, rng)
+	m, _ := New(Options{Coord: h.store, Ratio: 1.2, MinMoveItems: 100})
+	defer m.Close()
+	for pass := 0; pass < 10; pass++ {
+		ops, err := m.RunPass()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ops == 0 {
+			break
+		}
+	}
+	st := m.Stats()
+	if st.Splits == 0 {
+		t.Fatalf("expected a split first: %+v", st)
+	}
+	if st.Migrations == 0 {
+		t.Fatalf("expected a migration after the split: %+v", st)
+	}
+	if h.totalItems() != 4000 {
+		t.Fatalf("items = %d", h.totalItems())
+	}
+	// The split's new shard is registered globally.
+	names, _ := h.store.Children(image.PathShards)
+	if len(names) < 2 {
+		t.Fatalf("shards registered = %v", names)
+	}
+}
+
+// TestMaxShardItemsGuard splits oversized shards even when balanced.
+func TestMaxShardItemsGuard(t *testing.T) {
+	h := newHarness(t, 2)
+	rng := rand.New(rand.NewSource(3))
+	h.addShard("w0", 3000, rng)
+	h.addShard("w1", 3000, rng)
+	m, _ := New(Options{Coord: h.store, Ratio: 10, MinMoveItems: 100000, MaxShardItems: 2000})
+	defer m.Close()
+	if _, err := m.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Splits == 0 {
+		t.Fatalf("oversized shards not split: %+v", st)
+	}
+}
+
+func TestAllocShardIDs(t *testing.T) {
+	st := coord.NewStore()
+	defer st.Close()
+	first, err := AllocShardIDs(st, 4)
+	if err != nil || first != 0 {
+		t.Fatalf("first alloc = %d %v", first, err)
+	}
+	second, err := AllocShardIDs(st, 2)
+	if err != nil || second != 4 {
+		t.Fatalf("second alloc = %d %v", second, err)
+	}
+	// Concurrent allocations never collide.
+	var mu sync.Mutex
+	got := map[image.ShardID]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id, err := AllocShardIDs(st, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if got[id] {
+					t.Errorf("duplicate id %d", id)
+				}
+				got[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSortedLoads(t *testing.T) {
+	h := newHarness(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	h.addShard("w0", 100, rng)
+	h.addShard("w1", 200, rng)
+	m, _ := New(Options{Coord: h.store})
+	defer m.Close()
+	ids, loads, err := m.SortedLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != "w0" || ids[1] != "w1" || ids[2] != "w2" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if loads[0] != 100 || loads[1] != 200 || loads[2] != 0 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+// TestBackgroundLoop smoke-tests Start/Close.
+func TestBackgroundLoop(t *testing.T) {
+	h := newHarness(t, 2)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3; i++ {
+		h.addShard("w0", 500, rng)
+	}
+	m, _ := New(Options{Coord: h.store, Interval: 10 * time.Millisecond, Ratio: 1.2, MinMoveItems: 100})
+	m.Start()
+	deadline := time.Now().Add(3 * time.Second)
+	for m.Stats().Migrations == 0 {
+		if time.Now().After(deadline) {
+			m.Close()
+			t.Fatal("background loop never balanced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if h.totalItems() != 1500 {
+		t.Fatalf("items = %d", h.totalItems())
+	}
+}
+
+// TestDrainWorker empties a worker completely and checks the data
+// survives on the peers.
+func TestDrainWorker(t *testing.T) {
+	h := newHarness(t, 3)
+	rng := rand.New(rand.NewSource(6))
+	h.addShard("w0", 800, rng)
+	h.addShard("w0", 600, rng)
+	h.addShard("w1", 500, rng)
+	m, _ := New(Options{Coord: h.store})
+	defer m.Close()
+
+	moved, err := m.DrainWorker("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Fatalf("moved %d shards, want 2", moved)
+	}
+	loads, err := m.Loads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads["w0"] != 0 {
+		t.Fatalf("w0 still has %d items", loads["w0"])
+	}
+	if loads["w1"]+loads["w2"] != 1900 {
+		t.Fatalf("peers hold %d+%d items, want 1900", loads["w1"], loads["w2"])
+	}
+	// Ownership flipped for both drained shards.
+	for id := image.ShardID(0); id < 2; id++ {
+		raw, _, err := h.store.Get(image.ShardPath(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, _ := image.DecodeShardMetaBytes(raw)
+		if meta.Worker == "w0" {
+			t.Errorf("shard %d still owned by w0", id)
+		}
+	}
+	// Draining again is a no-op; draining an unknown worker fails.
+	if moved, err := m.DrainWorker("w0"); err != nil || moved != 0 {
+		t.Errorf("second drain = %d %v", moved, err)
+	}
+	if _, err := m.DrainWorker("nope"); err == nil {
+		t.Error("draining unknown worker should fail")
+	}
+}
+
+// TestDrainWorkerNoPeers fails cleanly with a single worker.
+func TestDrainWorkerNoPeers(t *testing.T) {
+	h := newHarness(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	h.addShard("w0", 100, rng)
+	m, _ := New(Options{Coord: h.store})
+	defer m.Close()
+	if _, err := m.DrainWorker("w0"); err == nil {
+		t.Error("drain with no peers should fail")
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64nz(a, b uint64) uint64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if m == 0 {
+		return 1
+	}
+	return m
+}

@@ -1,0 +1,179 @@
+// Package metrics provides the lightweight instrumentation used by
+// VOLAP's benchmark harness and examples: lock-free throughput counters
+// and logarithmic latency histograms with percentile extraction.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter with rate
+// computation.
+type Counter struct {
+	n     atomic.Uint64
+	start atomic.Int64 // unix nanos of first Reset/creation
+}
+
+// NewCounter returns a running counter.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.start.Store(time.Now().UnixNano())
+	return c
+}
+
+// Add increments by n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Count returns the total.
+func (c *Counter) Count() uint64 { return c.n.Load() }
+
+// Rate returns events per second since the last Reset.
+func (c *Counter) Rate() float64 {
+	elapsed := time.Since(time.Unix(0, c.start.Load())).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n.Load()) / elapsed
+}
+
+// Reset zeroes the counter and restarts the clock.
+func (c *Counter) Reset() {
+	c.n.Store(0)
+	c.start.Store(time.Now().UnixNano())
+}
+
+// Histogram records durations in logarithmic buckets from 1µs to ~17min
+// (2^30 µs), supporting concurrent recording and percentile queries.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [31]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: time.Duration(math.MaxInt64)}
+}
+
+// bucketOf maps a duration to its bucket index: the smallest b with
+// duration <= 2^b microseconds (so 2^b is the bucket's upper bound).
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if b > 30 {
+		return 30
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the extreme observations (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns an upper bound on the p-th percentile (p in [0,1]),
+// at bucket resolution (a factor of 2).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return time.Duration(1<<uint(b)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// Snapshot renders a one-line summary.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(0.5), h.Percentile(0.99), h.Max())
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [31]uint64{}
+	h.count = 0
+	h.sum = 0
+	h.min = time.Duration(math.MaxInt64)
+	h.max = 0
+}
+
+// Timer measures one operation: defer NewHistogram-style usage via
+// h.Time()().
+func (h *Histogram) Time() func() {
+	start := time.Now()
+	return func() { h.Record(time.Since(start)) }
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add(5)
+	c.Add(3)
+	if c.Count() != 8 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	if c.Rate() <= 0 {
+		t.Error("Rate should be positive")
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != 8000 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2}, // upper-bound semantics: 3µs <= 4µs
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, 30}, // clamped
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.d); got != tc.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Min() != 0 {
+		t.Error("empty histogram should be zero-valued")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 40*time.Millisecond || mean > 60*time.Millisecond {
+		t.Errorf("mean = %v", mean)
+	}
+	p50 := h.Percentile(0.5)
+	// Bucket resolution is a factor of two: p50 of 1..100ms is ~50ms, so
+	// the bucket upper bound is 64ms.
+	if p50 < 32*time.Millisecond || p50 > 128*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if h.Percentile(1) < h.Percentile(0) {
+		t.Error("percentiles not monotone")
+	}
+	if h.Percentile(-1) != h.Percentile(0) || h.Percentile(2) != h.Percentile(1) {
+		t.Error("percentile clamping wrong")
+	}
+	if h.Snapshot() == "" {
+		t.Error("Snapshot empty")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Record(time.Duration(j+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	h := NewHistogram()
+	done := h.Time()
+	time.Sleep(2 * time.Millisecond)
+	done()
+	if h.Count() != 1 || h.Max() < 2*time.Millisecond {
+		t.Errorf("timer recorded %v", h.Max())
+	}
+}

@@ -1,0 +1,428 @@
+// Package netmsg is VOLAP's messaging layer, standing in for ZeroMQ
+// (§III-A): asynchronous request/reply with correlation IDs, multiplexed
+// over a single connection per peer pair, with concurrent handler
+// execution on the server side so one socket feeds many worker threads.
+//
+// Two transports share the code path: "tcp" for real multi-process
+// deployments and "inproc" (net.Pipe behind a process-local registry) for
+// tests and embedded clusters — mirroring ZeroMQ's tcp:// and inproc://
+// endpoints.
+package netmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxFrame bounds a single message (64 MiB) to catch corrupt length
+// prefixes before they allocate unbounded memory.
+const MaxFrame = 64 << 20
+
+// frame types.
+const (
+	frameRequest  = 0
+	frameResponse = 1
+	frameError    = 2
+)
+
+// ErrClosed is returned for operations on a closed client or server.
+var ErrClosed = errors.New("netmsg: closed")
+
+// ErrTimeout is returned when a request deadline expires.
+var ErrTimeout = errors.New("netmsg: request timeout")
+
+// RemoteError wraps an error string returned by a remote handler.
+type RemoteError struct {
+	Op  string
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("netmsg: remote %s: %s", e.Op, e.Msg)
+}
+
+// Handler processes one request payload and returns the response payload.
+// Handlers run concurrently.
+type Handler func(payload []byte) ([]byte, error)
+
+// --- inproc registry -----------------------------------------------------
+
+var inproc = struct {
+	sync.Mutex
+	listeners map[string]*inprocListener
+}{listeners: make(map[string]*inprocListener)}
+
+type inprocListener struct {
+	name   string
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *inprocListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		inproc.Lock()
+		if inproc.listeners[l.name] == l {
+			delete(inproc.listeners, l.name)
+		}
+		inproc.Unlock()
+	})
+	return nil
+}
+
+type inprocAddr string
+
+func (a inprocAddr) Network() string { return "inproc" }
+func (a inprocAddr) String() string  { return string(a) }
+
+func (l *inprocListener) Addr() net.Addr { return inprocAddr("inproc://" + l.name) }
+
+// --- server --------------------------------------------------------------
+
+// Server accepts connections and dispatches requests to handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	conns    map[net.Conn]struct{}
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers the handler for an operation name. It must be called
+// before Listen.
+func (s *Server) Handle(op string, h Handler) {
+	s.mu.Lock()
+	s.handlers[op] = h
+	s.mu.Unlock()
+}
+
+// Listen binds the server and starts serving in the background. The
+// address is either "inproc://name" or a TCP address like
+// "127.0.0.1:0"; the bound address is returned (useful with port 0).
+func (s *Server) Listen(addr string) (string, error) {
+	if s.closed.Load() {
+		return "", ErrClosed
+	}
+	if name, ok := strings.CutPrefix(addr, "inproc://"); ok {
+		l := &inprocListener{name: name, conns: make(chan net.Conn, 16), closed: make(chan struct{})}
+		inproc.Lock()
+		if _, dup := inproc.listeners[name]; dup {
+			inproc.Unlock()
+			return "", fmt.Errorf("netmsg: inproc name %q already bound", name)
+		}
+		inproc.listeners[name] = l
+		inproc.Unlock()
+		s.ln = l
+	} else {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return "", err
+		}
+		s.ln = ln
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s.Addr(), nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		corrID, ftype, op, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if ftype != frameRequest {
+			continue // servers only consume requests
+		}
+		s.mu.RLock()
+		h := s.handlers[op]
+		s.mu.RUnlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var resp []byte
+			var herr error
+			if h == nil {
+				herr = fmt.Errorf("unknown operation %q", op)
+			} else {
+				resp, herr = h(payload)
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if herr != nil {
+				_ = writeFrame(conn, corrID, frameError, op, []byte(herr.Error()))
+				return
+			}
+			_ = writeFrame(conn, corrID, frameResponse, "", resp)
+		}()
+	}
+}
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// --- client --------------------------------------------------------------
+
+// pendingCall tracks one in-flight request.
+type pendingCall struct {
+	ch chan callResult
+}
+
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+// Client is a connection to a Server. It is safe for concurrent use;
+// requests are multiplexed by correlation ID.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	nextID  uint64
+	closed  bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects to addr ("inproc://name" or a TCP address).
+func Dial(addr string) (*Client, error) {
+	var conn net.Conn
+	if name, ok := strings.CutPrefix(addr, "inproc://"); ok {
+		inproc.Lock()
+		l := inproc.listeners[name]
+		inproc.Unlock()
+		if l == nil {
+			return nil, fmt.Errorf("netmsg: no inproc listener %q", name)
+		}
+		c1, c2 := net.Pipe()
+		select {
+		case l.conns <- c2:
+		case <-l.closed:
+			return nil, ErrClosed
+		}
+		conn = c1
+	} else {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		conn = c
+	}
+	cl := &Client{conn: conn, pending: make(map[uint64]*pendingCall), readerDone: make(chan struct{})}
+	go cl.readLoop()
+	return cl, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		corrID, ftype, op, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(io.ErrUnexpectedEOF)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[corrID]
+		delete(c.pending, corrID)
+		c.mu.Unlock()
+		if call == nil {
+			continue
+		}
+		switch ftype {
+		case frameResponse:
+			call.ch <- callResult{payload: payload}
+		case frameError:
+			call.ch <- callResult{err: &RemoteError{Op: op, Msg: string(payload)}}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.ch <- callResult{err: err}
+	}
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// Request sends op with payload and waits for the response.
+func (c *Client) Request(op string, payload []byte) ([]byte, error) {
+	return c.RequestTimeout(op, payload, 0)
+}
+
+// RequestTimeout is Request with a deadline (0 means no deadline).
+func (c *Client) RequestTimeout(op string, payload []byte, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	call := &pendingCall{ch: make(chan callResult, 1)}
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, id, frameRequest, op, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case res := <-call.ch:
+		return res.payload, res.err
+	case <-timer:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// Close tears down the connection; in-flight requests fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+	<-c.readerDone
+}
+
+// --- framing -------------------------------------------------------------
+
+// writeFrame emits one frame: u32 body length, then u64 corrID, u8 type,
+// u16 op length, op bytes, payload bytes.
+func writeFrame(conn net.Conn, corrID uint64, ftype byte, op string, payload []byte) error {
+	body := 8 + 1 + 2 + len(op) + len(payload)
+	if body > MaxFrame {
+		return fmt.Errorf("netmsg: frame of %d bytes exceeds limit", body)
+	}
+	buf := make([]byte, 4+body)
+	binary.LittleEndian.PutUint32(buf, uint32(body))
+	binary.LittleEndian.PutUint64(buf[4:], corrID)
+	buf[12] = ftype
+	binary.LittleEndian.PutUint16(buf[13:], uint16(len(op)))
+	copy(buf[15:], op)
+	copy(buf[15+len(op):], payload)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readFrame reads one frame written by writeFrame.
+func readFrame(conn net.Conn) (corrID uint64, ftype byte, op string, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	body := binary.LittleEndian.Uint32(hdr[:])
+	if body < 11 || body > MaxFrame {
+		err = fmt.Errorf("netmsg: invalid frame length %d", body)
+		return
+	}
+	buf := make([]byte, body)
+	if _, err = io.ReadFull(conn, buf); err != nil {
+		return
+	}
+	corrID = binary.LittleEndian.Uint64(buf)
+	ftype = buf[8]
+	opLen := int(binary.LittleEndian.Uint16(buf[9:]))
+	if 11+opLen > int(body) {
+		err = fmt.Errorf("netmsg: invalid op length %d", opLen)
+		return
+	}
+	op = string(buf[11 : 11+opLen])
+	payload = buf[11+opLen:]
+	return
+}

@@ -1,0 +1,261 @@
+package netmsg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho starts a server with echo and error handlers on the given
+// address and returns its bound address.
+func startEcho(t *testing.T, addr string) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle("fail", func(p []byte) ([]byte, error) { return nil, errors.New("boom") })
+	s.Handle("slow", func(p []byte) ([]byte, error) {
+		time.Sleep(200 * time.Millisecond)
+		return p, nil
+	})
+	bound, err := s.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, bound
+}
+
+func TestRequestReplyTCP(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Request("echo", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("hello")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestRequestReplyInproc(t *testing.T) {
+	_, addr := startEcho(t, "inproc://echo-test")
+	if addr != "inproc://echo-test" {
+		t.Fatalf("bound addr = %q", addr)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Request("echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "ping" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, addr := startEcho(t, "inproc://err-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	_, err := c.Request("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" || re.Error() == "" {
+		t.Errorf("remote error = %+v", re)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	_, addr := startEcho(t, "inproc://unknown-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Request("nope", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	_, addr := startEcho(t, "inproc://timeout-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	_, err := c.RequestTimeout("slow", nil, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// A later request on the same client still works (late response to
+	// the abandoned call is discarded).
+	resp, err := c.RequestTimeout("echo", []byte("next"), time.Second)
+	if err != nil || string(resp) != "next" {
+		t.Fatalf("follow-up request: %q, %v", resp, err)
+	}
+}
+
+// TestConcurrentRequests multiplexes many concurrent requests over one
+// client and checks responses are correlated correctly.
+func TestConcurrentRequests(t *testing.T) {
+	for _, addr := range []string{"127.0.0.1:0", "inproc://conc-test"} {
+		_, bound := startEcho(t, addr)
+		c, err := Dial(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 50; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				msg := []byte(fmt.Sprintf("msg-%d", i))
+				resp, err := c.Request("echo", msg)
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					t.Errorf("request %d: got %q", i, resp)
+				}
+			}(i)
+		}
+		wg.Wait()
+		c.Close()
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr := startEcho(t, "inproc://multi-test")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				msg := []byte(fmt.Sprintf("c%d-%d", i, j))
+				resp, err := c.Request("echo", msg)
+				if err != nil || !bytes.Equal(resp, msg) {
+					t.Errorf("client %d: %q %v", i, resp, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("inproc://nonexistent"); err == nil {
+		t.Error("dialing unknown inproc name should fail")
+	}
+}
+
+func TestDuplicateInprocName(t *testing.T) {
+	startEcho(t, "inproc://dup-test")
+	s2 := NewServer()
+	if _, err := s2.Listen("inproc://dup-test"); err == nil {
+		t.Error("duplicate inproc bind should fail")
+	}
+	s2.Close()
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	_, addr := startEcho(t, "inproc://close-test")
+	c, _ := Dial(addr)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Request("slow", nil)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	c.Close()
+	if err := <-done; err == nil {
+		t.Error("pending request should fail on close")
+	}
+	if _, err := c.Request("echo", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("request after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s, addr := startEcho(t, "inproc://sclose-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Request("slow", nil)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("request should fail when server closes")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("request did not unblock on server close")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	_, addr := startEcho(t, "inproc://large-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	resp, err := c.Request("echo", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	_, addr := startEcho(t, "inproc://frame-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Request("echo", make([]byte, MaxFrame)); err == nil {
+		t.Error("oversized frame should fail")
+	}
+}
+
+func BenchmarkRequestInproc(b *testing.B) {
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	if _, err := s.Listen("inproc://bench"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial("inproc://bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Request("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package pbs implements the Probabilistically Bounded Staleness analysis
+// of VOLAP's query freshness (§IV-F, Figure 10), following Bailis et al.
+//
+// The model mirrors how VOLAP can actually miss data. All items live on
+// workers and are visible to every server that routes a query to their
+// shard; a query on server B misses an insert issued on server A only
+// when (1) the insert expanded its shard's bounding box, (2) the
+// expansion has not yet reached B (server A pushes its local image every
+// SyncInterval, and the watch delivery adds propagation delay), and (3)
+// the query's region covers the new item without touching the shard's
+// pre-expansion box (otherwise B queries the shard anyway and sees the
+// item). This is why the paper observes near-zero missed inserts after
+// 0.25 s even with a 3-second sync interval, and why "only the most
+// recent three seconds of inserted data contain items that are ever
+// missed".
+//
+// As in the paper, the simulation is driven by distributions observed
+// from the running system: the insert rate, the per-insert box-expansion
+// probability, and latency samples.
+package pbs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Params drives the freshness simulation. There are two ways a remote
+// query misses an insert, with very different time scales:
+//
+//  1. In-flight inserts: an insert is invisible everywhere until it lands
+//     in its shard (the insert pipeline latency, tens to hundreds of
+//     milliseconds under load). This dominates the average and is why
+//     Figure 10(a) falls to near zero by 0.25 s.
+//  2. Unsynced box expansions: the rare insert that grew a bounding box
+//     stays invisible to *other* servers' routing until the next image
+//     sync (up to SyncInterval plus watch propagation) — the "always
+//     under 3 seconds" worst case.
+type Params struct {
+	// InsertRate is the cluster-wide insert throughput (inserts/second).
+	InsertRate float64
+	// InsertLatMean is the mean insert pipeline latency; per-insert
+	// latency is drawn exponential with this mean, truncated at 5x (use
+	// the distribution observed from the live system, as the paper did).
+	InsertLatMean time.Duration
+	// SyncInterval is the servers' image push period (paper: 3 s).
+	SyncInterval time.Duration
+	// PropMean and PropJitter model the coordination-service watch
+	// propagation delay: delay = PropMean + U(0, PropJitter).
+	PropMean, PropJitter time.Duration
+	// ExpandProb is the probability that an insert expands its shard's
+	// bounding box (measured from the live system; decays rapidly with
+	// database size — the paper notes the same behaviour for any
+	// n >= 500,000).
+	ExpandProb float64
+	// Coverage is the query's coverage fraction; an in-flight item is in
+	// the query's result region with this probability, and
+	// HitProbForCoverage governs the expansion-miss case.
+	Coverage float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.InsertRate <= 0 {
+		return fmt.Errorf("pbs: InsertRate %f <= 0", p.InsertRate)
+	}
+	if p.SyncInterval <= 0 {
+		return fmt.Errorf("pbs: SyncInterval %v <= 0", p.SyncInterval)
+	}
+	if p.InsertLatMean <= 0 {
+		return fmt.Errorf("pbs: InsertLatMean %v <= 0", p.InsertLatMean)
+	}
+	if p.ExpandProb < 0 || p.ExpandProb > 1 || p.Coverage < 0 || p.Coverage > 1 {
+		return fmt.Errorf("pbs: probabilities out of range")
+	}
+	return nil
+}
+
+// latMax is the truncation point of the insert latency distribution.
+func (p Params) latMax() float64 { return 5 * p.InsertLatMean.Seconds() }
+
+// drawLatency samples the insert pipeline latency.
+func (p Params) drawLatency(rng *rand.Rand) float64 {
+	l := rng.ExpFloat64() * p.InsertLatMean.Seconds()
+	if m := p.latMax(); l > m {
+		l = m
+	}
+	return l
+}
+
+// flightMissProb returns the probability that an in-flight candidate
+// insert (age uniform over the latency window) is still invisible at
+// elapsed time e: P(lat > age + e) with lat ~ Exp(m) truncated at 5m,
+// integrated analytically over age.
+func (p Params) flightMissProb(e float64) float64 {
+	m := p.InsertLatMean.Seconds()
+	w := p.latMax() // window = truncation point
+	if e >= w {
+		return 0
+	}
+	// ∫_0^{w-e} exp(-(a+e)/m) da / w  (beyond w-e the latency cannot
+	// exceed age+e because it is truncated at w).
+	return m * (math.Exp(-e/m) - math.Exp(-w/m)) / w
+}
+
+// syncWindow returns how far back an *expanding* insert can still be
+// invisible: the sync period plus worst-case propagation.
+func (p Params) syncWindow() float64 {
+	return p.SyncInterval.Seconds() + (p.PropMean + p.PropJitter).Seconds()
+}
+
+// syncVisibleBy reports whether an expansion that happened `age` seconds
+// before the reference insert has reached the querying server `elapsed`
+// seconds after it: the expansion waits for the next sync push (uniform
+// phase) plus watch propagation.
+func (p Params) syncVisibleBy(rng *rand.Rand, age, elapsed float64) bool {
+	syncWait := rng.Float64() * p.SyncInterval.Seconds()
+	prop := p.PropMean.Seconds() + rng.Float64()*p.PropJitter.Seconds()
+	return syncWait+prop <= age+elapsed
+}
+
+// Result summarizes a simulation at one elapsed time.
+type Result struct {
+	Elapsed time.Duration
+	// Mean is the expected number of missed inserts.
+	Mean float64
+	// PMiss[k] is the probability of missing exactly k inserts, for
+	// k = 0..len(PMiss)-1 (Figure 10(b) reports k = 1..4).
+	PMiss []float64
+	// Trials is the Monte Carlo sample count.
+	Trials int
+}
+
+// Simulate estimates missed inserts for a query issued `elapsed` after a
+// reference insert on another server, Monte Carlo style.
+func Simulate(p Params, elapsed time.Duration, trials int, seed int64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if trials <= 0 {
+		trials = 10000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	e := elapsed.Seconds()
+
+	// Source 1: in-flight inserts. Candidates are inserts issued within
+	// latMax before the reference insert that land inside the query's
+	// region; one is missed if its remaining pipeline latency exceeds its
+	// age plus the elapsed time.
+	flightWindow := p.latMax()
+	flightLambda := p.InsertRate * p.Coverage * flightWindow
+
+	// Source 2: unsynced box expansions.
+	syncWindow := p.syncWindow()
+	expandLambda := p.InsertRate * p.ExpandProb * HitProbForCoverage(p.Coverage) * syncWindow
+
+	const maxK = 16
+	counts := make([]int, maxK+1)
+	var sum float64
+	flightMiss := flightLambda * p.flightMissProb(e) // Poisson thinning
+	for t := 0; t < trials; t++ {
+		missed := poisson(rng, flightMiss)
+		for i, n := 0, poisson(rng, expandLambda); i < n; i++ {
+			age := rng.Float64() * syncWindow
+			if !p.syncVisibleBy(rng, age, e) {
+				missed++
+			}
+		}
+		// The reference insert itself (age 0) may be in flight or, with
+		// small probability, hidden behind an unsynced expansion.
+		if rng.Float64() < p.Coverage && p.drawLatency(rng) > e {
+			missed++
+		} else if rng.Float64() < p.ExpandProb*HitProbForCoverage(p.Coverage) && !p.syncVisibleBy(rng, 0, e) {
+			missed++
+		}
+		sum += float64(missed)
+		if missed > maxK {
+			missed = maxK
+		}
+		counts[missed]++
+	}
+	res := Result{Elapsed: elapsed, Mean: sum / float64(trials), Trials: trials}
+	res.PMiss = make([]float64, maxK+1)
+	for k, c := range counts {
+		res.PMiss[k] = float64(c) / float64(trials)
+	}
+	return res, nil
+}
+
+// Sweep runs Simulate over a range of elapsed times (Figure 10(a)).
+func Sweep(p Params, elapsed []time.Duration, trials int, seed int64) ([]Result, error) {
+	out := make([]Result, 0, len(elapsed))
+	for i, e := range elapsed {
+		r, err := Simulate(p, e, trials, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ConsistencyHorizon returns the smallest elapsed time (searched on a
+// grid) at which the mean missed inserts falls below eps — the paper's
+// "consistency ... was always observed in under 3 seconds".
+func ConsistencyHorizon(p Params, eps float64, trials int, seed int64) (time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	maxE := p.syncWindow()
+	step := maxE / 64
+	for e := 0.0; e <= maxE+step; e += step {
+		r, err := Simulate(p, time.Duration(e*float64(time.Second)), trials, seed)
+		if err != nil {
+			return 0, err
+		}
+		if r.Mean < eps {
+			return r.Elapsed, nil
+		}
+	}
+	return time.Duration(maxE * float64(time.Second)), nil
+}
+
+// poisson draws from Poisson(lambda) (Knuth for small lambda, normal
+// approximation for large).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// HitProbForCoverage maps a query coverage fraction to the probability
+// that a brand-new expansion region is covered by the query while the
+// pre-expansion box is not. Wide queries almost always overlap the old
+// box already (a 100% query overlaps every non-empty shard and therefore
+// sees everything on the workers, leaving only edge cases), so the model
+// decays quadratically with coverage; this reproduces the ordering of the
+// paper's Figure 10 coverage series (25% > 50% > 75% > 100%).
+func HitProbForCoverage(coverage float64) float64 {
+	if coverage < 0 {
+		coverage = 0
+	}
+	if coverage > 1 {
+		coverage = 1
+	}
+	return 0.02 + 0.6*(1-coverage)*(1-coverage)
+}
+
+// MeasuredExpandProb estimates the expansion probability from a routing
+// trace: expansions divided by inserts (exposed so benches can feed real
+// measurements from image.Index.RouteInsert into the simulation, the way
+// the paper seeded its simulation with observed distributions).
+func MeasuredExpandProb(expansions, inserts uint64) float64 {
+	if inserts == 0 {
+		return 0
+	}
+	return float64(expansions) / float64(inserts)
+}

@@ -1,0 +1,172 @@
+package pbs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testParams() Params {
+	return Params{
+		InsertRate:    50000,
+		InsertLatMean: 50 * time.Millisecond, // latency truncates at 0.25 s, the paper's drop-off
+		SyncInterval:  3 * time.Second,
+		PropMean:      20 * time.Millisecond,
+		PropJitter:    30 * time.Millisecond,
+		ExpandProb:    1e-5,
+		Coverage:      0.5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := testParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.InsertRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rate should fail")
+	}
+	bad = p
+	bad.SyncInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sync should fail")
+	}
+	bad = p
+	bad.ExpandProb = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bad probability should fail")
+	}
+	bad = p
+	bad.InsertLatMean = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero latency should fail")
+	}
+	if _, err := Simulate(bad, 0, 10, 1); err == nil {
+		t.Error("Simulate must validate")
+	}
+}
+
+// TestMeanDecreasesWithElapsed reproduces the qualitative shape of
+// Figure 10(a): the average missed-insert count decreases monotonically
+// (modulo noise) with elapsed time and approaches zero.
+func TestMeanDecreasesWithElapsed(t *testing.T) {
+	p := testParams()
+	elapsed := []time.Duration{0, 250 * time.Millisecond, time.Second, 2 * time.Second, 3200 * time.Millisecond}
+	results, err := Sweep(p, elapsed, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Mean > results[i-1].Mean+0.5 {
+			t.Errorf("mean increased: %v -> %v", results[i-1], results[i])
+		}
+	}
+	if results[0].Mean <= 1 {
+		t.Errorf("missed inserts at elapsed 0 = %f, should be substantial", results[0].Mean)
+	}
+	// The paper's shape: near zero by 0.25 s (the in-flight horizon) ...
+	if at025 := results[1].Mean; at025 > results[0].Mean/20 {
+		t.Errorf("mean at 0.25s = %f did not collapse (t=0: %f)", at025, results[0].Mean)
+	}
+	// ... and fully zero once the sync window passes.
+	last := results[len(results)-1]
+	if last.Mean > 0.05 {
+		t.Errorf("mean at %v = %f, want ~0", last.Elapsed, last.Mean)
+	}
+}
+
+// TestPMissDistribution checks the histogram output sums to 1 and puts
+// most mass on small counts at the paper's operating point.
+func TestPMissDistribution(t *testing.T) {
+	p := testParams()
+	r, err := Simulate(p, time.Second, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range r.PMiss {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("PMiss sums to %f", total)
+	}
+	if r.PMiss[0] < 0.3 {
+		t.Errorf("P(0 missed at 1s) = %f, implausibly low", r.PMiss[0])
+	}
+	// Mean from the histogram roughly agrees with the reported mean.
+	var hMean float64
+	for k, v := range r.PMiss {
+		hMean += float64(k) * v
+	}
+	if math.Abs(hMean-r.Mean) > 0.5+0.1*r.Mean {
+		t.Errorf("histogram mean %f vs mean %f", hMean, r.Mean)
+	}
+}
+
+// TestCoverageOrderingTail reproduces the Figure 10(b) series ordering in
+// the sync-dominated tail (elapsed past the in-flight horizon): lower
+// coverage queries miss more, because wide queries overlap stale boxes
+// anyway.
+func TestCoverageOrderingTail(t *testing.T) {
+	coverages := []float64{0.25, 0.50, 0.75, 1.0}
+	var prev = math.Inf(1)
+	for _, cov := range coverages {
+		p := testParams()
+		p.ExpandProb = 0.001 // amplify the tail so ordering is measurable
+		p.Coverage = cov
+		r, err := Simulate(p, 500*time.Millisecond, 20000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Mean > prev+0.2 {
+			t.Errorf("coverage %.0f%% missed more (%f) than lower coverage (%f)", cov*100, r.Mean, prev)
+		}
+		prev = r.Mean
+	}
+	if HitProbForCoverage(-1) != HitProbForCoverage(0) || HitProbForCoverage(2) != HitProbForCoverage(1) {
+		t.Error("HitProbForCoverage clamping wrong")
+	}
+}
+
+func TestConsistencyHorizon(t *testing.T) {
+	p := testParams()
+	h, err := ConsistencyHorizon(p, 0.01, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper observes consistency always within 3 seconds (+ jitter).
+	if h > p.SyncInterval+p.PropMean+p.PropJitter {
+		t.Errorf("horizon %v exceeds sync window", h)
+	}
+	if h <= 0 {
+		t.Errorf("horizon = %v", h)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, lambda := range []float64{0, 0.5, 4, 100, 5000} {
+		var sum float64
+		const n = 3000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / n
+		tol := 0.15*lambda + 0.1
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("poisson(%f) mean = %f", lambda, mean)
+		}
+	}
+}
+
+func TestMeasuredExpandProb(t *testing.T) {
+	if MeasuredExpandProb(0, 0) != 0 {
+		t.Error("zero inserts should give 0")
+	}
+	if got := MeasuredExpandProb(5, 100); got != 0.05 {
+		t.Errorf("got %f", got)
+	}
+}

@@ -1,0 +1,371 @@
+// Package rtree implements the two baseline index structures the VOLAP
+// paper compares against in Figure 5: a classic R-tree (Guttman, quadratic
+// split, least-enlargement insertion) and a Hilbert R-tree (Kamel &
+// Faloutsos: insertion ordered by the item's Hilbert value).
+//
+// Unlike the PDC trees in package core, these baselines are plain spatial
+// indices: they use MBR keys only, know nothing about dimension
+// hierarchies, and cache no aggregates — answering an aggregate query
+// means visiting every overlapping leaf and scanning its items. That is
+// precisely why their query latency collapses as the dimension count
+// grows (bounding-box overlap explodes), the effect Figure 5 shows.
+package rtree
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/hilbert"
+	"repro/internal/keys"
+)
+
+// Kind selects the baseline variant.
+type Kind uint8
+
+const (
+	// Classic is Guttman's R-tree.
+	Classic Kind = iota
+	// HilbertRT is the Hilbert R-tree.
+	HilbertRT
+)
+
+// String names the variant.
+func (k Kind) String() string {
+	if k == HilbertRT {
+		return "hilbert-rtree"
+	}
+	return "rtree"
+}
+
+// Config parameterizes a baseline tree.
+type Config struct {
+	Schema       *hierarchy.Schema
+	Kind         Kind
+	LeafCapacity int // 0 = 64
+	DirCapacity  int // 0 = 16
+}
+
+type rnode struct {
+	key      *keys.Key
+	leaf     bool
+	children []*rnode
+	items    []core.Item
+	hilberts []hilbert.Index // leaf, HilbertRT only
+	maxH     hilbert.Index   // HilbertRT only
+}
+
+// Tree is a baseline R-tree. A single RWMutex guards the whole structure;
+// the baselines exist for the single-threaded latency comparison of
+// Figure 5, not for the concurrent workloads the PDC trees serve.
+type Tree struct {
+	cfg   Config
+	curve *hilbert.Curve
+
+	mu    sync.RWMutex
+	root  *rnode
+	count uint64
+}
+
+// New builds an empty baseline tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("rtree: Config.Schema is required")
+	}
+	if cfg.LeafCapacity == 0 {
+		cfg.LeafCapacity = 64
+	}
+	if cfg.DirCapacity == 0 {
+		cfg.DirCapacity = 16
+	}
+	if cfg.LeafCapacity < 2 || cfg.DirCapacity < 3 {
+		return nil, fmt.Errorf("rtree: capacities too small")
+	}
+	t := &Tree{cfg: cfg}
+	if cfg.Kind == HilbertRT {
+		c, err := hilbert.New(cfg.Schema.ExpandedBits())
+		if err != nil {
+			return nil, err
+		}
+		t.curve = c
+	}
+	t.root = t.newLeaf()
+	return t, nil
+}
+
+func (t *Tree) newLeaf() *rnode {
+	return &rnode{leaf: true, key: keys.NewEmpty(keys.MBR, t.cfg.Schema.NumDims(), 1)}
+}
+
+func (t *Tree) newDir() *rnode {
+	return &rnode{key: keys.NewEmpty(keys.MBR, t.cfg.Schema.NumDims(), 1)}
+}
+
+// Count returns the number of items.
+func (t *Tree) Count() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+func (t *Tree) hilbertOf(coords []uint64) hilbert.Index {
+	exp := make([]uint64, len(coords))
+	for d, c := range coords {
+		exp[d] = t.cfg.Schema.ExpandOrdinal(d, c)
+	}
+	idx, err := t.curve.Index(exp)
+	if err != nil {
+		panic(fmt.Sprintf("rtree: hilbert index: %v", err))
+	}
+	return idx
+}
+
+// Insert adds one item.
+func (t *Tree) Insert(it core.Item) error {
+	if err := t.cfg.Schema.ValidatePoint(it.Coords); err != nil {
+		return err
+	}
+	var h hilbert.Index
+	if t.cfg.Kind == HilbertRT {
+		h = t.hilbertOf(it.Coords)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.root
+	split := t.insert(root, it, h)
+	if split != nil {
+		nr := t.newDir()
+		nr.children = []*rnode{root, split}
+		nr.key.ExtendKey(root.key)
+		nr.key.ExtendKey(split.key)
+		if t.cfg.Kind == HilbertRT {
+			nr.maxH = split.maxH
+			if split.maxH.Less(root.maxH) {
+				nr.maxH = root.maxH
+			}
+		}
+		t.root = nr
+	}
+	t.count++
+	return nil
+}
+
+// insert descends recursively; returns a new right sibling if n split.
+func (t *Tree) insert(n *rnode, it core.Item, h hilbert.Index) *rnode {
+	n.key.ExtendPoint(it.Coords)
+	if t.cfg.Kind == HilbertRT && (n.maxH.IsZero() || n.maxH.Less(h)) {
+		n.maxH = h
+	}
+	if n.leaf {
+		t.leafAdd(n, it, h)
+		if len(n.items) > t.cfg.LeafCapacity {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	idx := t.chooseChild(n, it.Coords, h)
+	if sib := t.insert(n.children[idx], it, h); sib != nil {
+		n.children = append(n.children, nil)
+		copy(n.children[idx+2:], n.children[idx+1:])
+		n.children[idx+1] = sib
+		if len(n.children) > t.cfg.DirCapacity {
+			return t.splitDir(n)
+		}
+	}
+	return nil
+}
+
+func (t *Tree) leafAdd(n *rnode, it core.Item, h hilbert.Index) {
+	if t.cfg.Kind != HilbertRT {
+		n.items = append(n.items, it)
+		return
+	}
+	pos := 0
+	for pos < len(n.hilberts) && !h.Less(n.hilberts[pos]) {
+		pos++
+	}
+	n.items = append(n.items, core.Item{})
+	copy(n.items[pos+1:], n.items[pos:])
+	n.items[pos] = it
+	n.hilberts = append(n.hilberts, hilbert.Index{})
+	copy(n.hilberts[pos+1:], n.hilberts[pos:])
+	n.hilberts[pos] = h
+}
+
+// chooseChild: HilbertRT follows the linear order; Classic picks the child
+// needing the least enlargement (ties: smaller volume).
+func (t *Tree) chooseChild(n *rnode, coords []uint64, h hilbert.Index) int {
+	if t.cfg.Kind == HilbertRT {
+		for i, c := range n.children {
+			if !c.maxH.Less(h) {
+				return i
+			}
+		}
+		return len(n.children) - 1
+	}
+	best, bestEnl, bestVol := 0, -1.0, 0.0
+	for i, c := range n.children {
+		enl := c.key.EnlargementPoint(coords)
+		vol := c.key.Volume()
+		if bestEnl < 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// splitLeaf splits an over-full leaf and returns the new sibling.
+func (t *Tree) splitLeaf(n *rnode) *rnode {
+	sib := t.newLeaf()
+	if t.cfg.Kind == HilbertRT {
+		// Hilbert R-tree: split the ordered run in the middle.
+		mid := len(n.items) / 2
+		sib.items = append(sib.items, n.items[mid:]...)
+		sib.hilberts = append(sib.hilberts, n.hilberts[mid:]...)
+		n.items = n.items[:mid:mid]
+		n.hilberts = n.hilberts[:mid:mid]
+		t.recomputeLeaf(n)
+		t.recomputeLeaf(sib)
+		return sib
+	}
+	// Guttman quadratic split on point keys.
+	items := n.items
+	seedA, seedB := quadraticSeeds(items, t.cfg.Schema)
+	groupA := []core.Item{items[seedA]}
+	groupB := []core.Item{items[seedB]}
+	keyA := keys.NewPoint(keys.MBR, 1, items[seedA].Coords)
+	keyB := keys.NewPoint(keys.MBR, 1, items[seedB].Coords)
+	for i, it := range items {
+		if i == seedA || i == seedB {
+			continue
+		}
+		da := keyA.EnlargementPoint(it.Coords)
+		db := keyB.EnlargementPoint(it.Coords)
+		if da < db || (da == db && len(groupA) <= len(groupB)) {
+			groupA = append(groupA, it)
+			keyA.ExtendPoint(it.Coords)
+		} else {
+			groupB = append(groupB, it)
+			keyB.ExtendPoint(it.Coords)
+		}
+	}
+	n.items = groupA
+	n.key = keyA
+	sib.items = groupB
+	sib.key = keyB
+	return sib
+}
+
+func (t *Tree) recomputeLeaf(n *rnode) {
+	n.key = keys.NewEmpty(keys.MBR, t.cfg.Schema.NumDims(), 1)
+	for _, it := range n.items {
+		n.key.ExtendPoint(it.Coords)
+	}
+	if t.cfg.Kind == HilbertRT && len(n.hilberts) > 0 {
+		n.maxH = n.hilberts[len(n.hilberts)-1]
+	}
+}
+
+// quadraticSeeds picks the pair of items wasting the most volume when
+// boxed together.
+func quadraticSeeds(items []core.Item, s *hierarchy.Schema) (int, int) {
+	worstA, worstB, worst := 0, 1, -1.0
+	// Quadratic scan capped for very large leaves.
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			waste := 1.0
+			for d := range items[i].Coords {
+				lo, hi := items[i].Coords[d], items[j].Coords[d]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				waste *= float64(hi - lo + 1)
+			}
+			if waste > worst {
+				worstA, worstB, worst = i, j, waste
+			}
+		}
+	}
+	_ = s
+	return worstA, worstB
+}
+
+// splitDir splits an over-full directory node.
+func (t *Tree) splitDir(n *rnode) *rnode {
+	sib := t.newDir()
+	mid := len(n.children) / 2
+	if t.cfg.Kind != HilbertRT {
+		// Order children by midpoint along the widest dimension first.
+		d := widestDim(n.key, t.cfg.Schema)
+		sortChildrenByMid(n.children, d)
+	}
+	sib.children = append(sib.children, n.children[mid:]...)
+	n.children = n.children[:mid:mid]
+	t.recomputeDir(n)
+	t.recomputeDir(sib)
+	return sib
+}
+
+func (t *Tree) recomputeDir(n *rnode) {
+	n.key = keys.NewEmpty(keys.MBR, t.cfg.Schema.NumDims(), 1)
+	n.maxH = hilbert.Index{}
+	for _, c := range n.children {
+		n.key.ExtendKey(c.key)
+		if t.cfg.Kind == HilbertRT && (n.maxH.IsZero() || n.maxH.Less(c.maxH)) {
+			n.maxH = c.maxH
+		}
+	}
+}
+
+func widestDim(k *keys.Key, s *hierarchy.Schema) int {
+	best, span := 0, -1.0
+	for d := 0; d < k.Dims(); d++ {
+		b := k.Bounds(d)
+		rel := float64(b.Len()) / float64(s.Dim(d).LeafCount())
+		if rel > span {
+			best, span = d, rel
+		}
+	}
+	return best
+}
+
+func sortChildrenByMid(children []*rnode, d int) {
+	for i := 1; i < len(children); i++ {
+		for j := i; j > 0; j-- {
+			bi, bj := children[j].key.Bounds(d), children[j-1].key.Bounds(d)
+			if bi.Lo+bi.Hi < bj.Lo+bj.Hi {
+				children[j], children[j-1] = children[j-1], children[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Query aggregates every item inside q. No aggregates are cached, so the
+// traversal always reaches leaves.
+func (t *Tree) Query(q keys.Rect) core.Aggregate {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	agg := core.NewAggregate()
+	t.query(t.root, q, &agg)
+	return agg
+}
+
+func (t *Tree) query(n *rnode, q keys.Rect, agg *core.Aggregate) {
+	if n.key.Empty() || !n.key.OverlapsRect(q) {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if q.ContainsPoint(it.Coords) {
+				agg.AddItem(it.Measure)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.query(c, q, agg)
+	}
+}

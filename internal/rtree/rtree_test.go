@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+)
+
+func testSchema(tb testing.TB) *hierarchy.Schema {
+	tb.Helper()
+	return hierarchy.MustSchema(
+		hierarchy.MustDimension("A",
+			hierarchy.Level{Name: "L1", Fanout: 8},
+			hierarchy.Level{Name: "L2", Fanout: 8}),
+		hierarchy.MustDimension("B",
+			hierarchy.Level{Name: "L1", Fanout: 30}),
+		hierarchy.MustDimension("C",
+			hierarchy.Level{Name: "L1", Fanout: 4},
+			hierarchy.Level{Name: "L2", Fanout: 16}),
+	)
+}
+
+func randItem(rng *rand.Rand, s *hierarchy.Schema) core.Item {
+	coords := make([]uint64, s.NumDims())
+	for d := range coords {
+		coords[d] = uint64(rng.Intn(int(s.Dim(d).LeafCount())))
+	}
+	return core.Item{Coords: coords, Measure: float64(rng.Intn(100))}
+}
+
+func randRect(rng *rand.Rand, s *hierarchy.Schema) keys.Rect {
+	ivs := make([]hierarchy.Interval, s.NumDims())
+	for d := range ivs {
+		dim := s.Dim(d)
+		depth := rng.Intn(dim.Depth() + 1)
+		prefix := make([]uint32, depth)
+		for l := 0; l < depth; l++ {
+			prefix[l] = uint32(rng.Intn(int(dim.Level(l).Fanout)))
+		}
+		iv, err := dim.NodeInterval(depth, prefix)
+		if err != nil {
+			panic(err)
+		}
+		ivs[d] = iv
+	}
+	return keys.Rect{Ivs: ivs}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing schema should fail")
+	}
+	if _, err := New(Config{Schema: testSchema(t), LeafCapacity: 1, DirCapacity: 8}); err == nil {
+		t.Error("tiny capacity should fail")
+	}
+	if Classic.String() != "rtree" || HilbertRT.String() != "hilbert-rtree" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+// TestQueryMatchesReference checks both baselines against brute force.
+func TestQueryMatchesReference(t *testing.T) {
+	for _, kind := range []Kind{Classic, HilbertRT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := testSchema(t)
+			tree, err := New(Config{Schema: s, Kind: kind, LeafCapacity: 16, DirCapacity: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(17))
+			var ref []core.Item
+			for i := 0; i < 3000; i++ {
+				it := randItem(rng, s)
+				ref = append(ref, it)
+				if err := tree.Insert(it); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tree.Count() != 3000 {
+				t.Fatalf("Count = %d", tree.Count())
+			}
+			for q := 0; q < 50; q++ {
+				rect := randRect(rng, s)
+				got := tree.Query(rect)
+				want := core.NewAggregate()
+				for _, it := range ref {
+					if rect.ContainsPoint(it.Coords) {
+						want.AddItem(it.Measure)
+					}
+				}
+				if got.Count != want.Count || got.Sum != want.Sum {
+					t.Fatalf("query %v: got %v want %v", rect, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tree, _ := New(Config{Schema: testSchema(t), Kind: Classic})
+	if err := tree.Insert(core.Item{Coords: []uint64{0}}); err == nil {
+		t.Error("short point should fail")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Many identical points force repeated splits of degenerate boxes.
+	for _, kind := range []Kind{Classic, HilbertRT} {
+		s := testSchema(t)
+		tree, _ := New(Config{Schema: s, Kind: kind, LeafCapacity: 4, DirCapacity: 4})
+		for i := 0; i < 200; i++ {
+			if err := tree.Insert(core.Item{Coords: []uint64{1, 2, 3}, Measure: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		agg := tree.Query(keys.AllRect(s))
+		if agg.Count != 200 {
+			t.Errorf("%s: duplicate-point count = %d", kind, agg.Count)
+		}
+	}
+}

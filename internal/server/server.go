@@ -1,0 +1,647 @@
+// Package server implements VOLAP's server nodes (§III-A/§III-B/§III-C):
+// the client-facing tier. Each server keeps a local image — a modified PDC
+// tree over shard bounding boxes plus worker address tables — routes
+// every insertion and aggregate query to the right workers, scatter-
+// gathers partial aggregates, and synchronizes its local image with the
+// global image in the coordination service at a configurable rate
+// (default 3 s in the paper's experiments).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/netmsg"
+	"repro/internal/wire"
+	"repro/internal/worker"
+)
+
+// Options configures a server.
+type Options struct {
+	ID           string
+	Coord        coord.Coordinator
+	SyncInterval time.Duration // local-image push rate; paper default 3 s
+}
+
+// Server is one server node.
+type Server struct {
+	id   string
+	co   coord.Coordinator
+	cfg  *image.ClusterConfig
+	idx  *image.Index
+	sync time.Duration
+
+	srv  *netmsg.Server
+	addr string
+
+	mu      sync.RWMutex
+	owners  map[image.ShardID]string     // shard -> worker ID
+	workers map[string]*image.WorkerMeta // worker ID -> meta
+	conns   map[string]*netmsg.Client    // worker addr -> client
+	dirty   map[image.ShardID]struct{}   // locally grown shards awaiting push
+
+	watcher   *coord.Watcher
+	stopSync  chan struct{}
+	syncWg    sync.WaitGroup
+	closeOnce sync.Once
+
+	// Staleness instrumentation for the freshness study (Figure 10).
+	statMu      sync.Mutex
+	syncPushes  uint64
+	watchEvents uint64
+}
+
+// New builds a server, loads the global image, and starts watching for
+// remote changes. Call Listen to expose the client RPC surface.
+func New(opts Options) (*Server, error) {
+	if opts.Coord == nil {
+		return nil, errors.New("server: coordinator required")
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 3 * time.Second
+	}
+	raw, _, err := opts.Coord.Get(image.PathConfig)
+	if err != nil {
+		return nil, fmt.Errorf("server: cluster config: %w", err)
+	}
+	cfg, err := image.DecodeClusterConfigBytes(raw)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		id:      opts.ID,
+		co:      opts.Coord,
+		cfg:     cfg,
+		sync:    opts.SyncInterval,
+		idx:     image.NewIndex(cfg.Schema, cfg.Keys, cfg.MDSCap, 8),
+		owners:  make(map[image.ShardID]string),
+		workers: make(map[string]*image.WorkerMeta),
+		conns:   make(map[string]*netmsg.Client),
+		dirty:   make(map[image.ShardID]struct{}),
+	}
+
+	// Bootstrap the local image from a consistent snapshot, then follow
+	// the event stream from the snapshot's cursor (no gap, no replay).
+	snap, cursor := s.co.Snapshot(image.PathRoot)
+	for path, data := range snap {
+		s.applyNode(path, data)
+	}
+	s.watcher = coord.NewWatcher(s.co, image.PathRoot, cursor, s.onEvent, s.onReset)
+
+	s.stopSync = make(chan struct{})
+	s.syncWg.Add(1)
+	go s.syncLoop()
+	return s, nil
+}
+
+// Config returns the cluster configuration.
+func (s *Server) Config() *image.ClusterConfig { return s.cfg }
+
+// ID returns the server's identifier.
+func (s *Server) ID() string { return s.id }
+
+// Addr returns the bound client-facing address.
+func (s *Server) Addr() string { return s.addr }
+
+// NumShards returns the number of shards in the local image.
+func (s *Server) NumShards() int { return s.idx.NumShards() }
+
+// applyNode folds one global-image node into the local image.
+func (s *Server) applyNode(path string, data []byte) {
+	if id, ok := image.ParseShardPath(path); ok {
+		if data == nil {
+			return
+		}
+		meta, err := image.DecodeShardMetaBytes(data)
+		if err != nil {
+			return
+		}
+		if s.idx.Has(id) {
+			// §III-C: a remote expansion is applied bottom-up through the
+			// leaf map rather than by searching the tree.
+			s.idx.ExpandLeaf(id, meta.Key, meta.Count)
+		} else {
+			_ = s.idx.AddShard(id, meta.Key)
+		}
+		s.mu.Lock()
+		s.owners[id] = meta.Worker
+		s.mu.Unlock()
+		return
+	}
+	if len(path) > len(image.PathWorkers)+1 && path[:len(image.PathWorkers)+1] == image.PathWorkers+"/" {
+		if data == nil {
+			return
+		}
+		meta, err := image.DecodeWorkerMetaBytes(data)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.workers[meta.ID] = meta
+		s.mu.Unlock()
+	}
+}
+
+// onEvent handles one watch notification.
+func (s *Server) onEvent(ev coord.Event) {
+	s.statMu.Lock()
+	s.watchEvents++
+	s.statMu.Unlock()
+	if ev.Type == coord.EventDeleted {
+		return // VOLAP never removes shards or workers from the image
+	}
+	s.applyNode(ev.Path, ev.Data)
+}
+
+// onReset rebuilds from a fresh snapshot after event-log compaction.
+func (s *Server) onReset(snap map[string][]byte) {
+	for path, data := range snap {
+		s.applyNode(path, data)
+	}
+}
+
+// workerClient returns (dialing if needed) a connection to a worker.
+func (s *Server) workerClient(workerID string) (*netmsg.Client, error) {
+	s.mu.RLock()
+	meta := s.workers[workerID]
+	var c *netmsg.Client
+	if meta != nil {
+		c = s.conns[meta.Addr]
+	}
+	s.mu.RUnlock()
+	if meta == nil {
+		return nil, fmt.Errorf("server %s: unknown worker %q", s.id, workerID)
+	}
+	if c != nil {
+		return c, nil
+	}
+	c, err := netmsg.Dial(meta.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if prev, ok := s.conns[meta.Addr]; ok {
+		s.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	s.conns[meta.Addr] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Insert routes one item to its shard's worker (§III-B: the local image
+// finds the relevant shard and worker address).
+func (s *Server) Insert(it core.Item) error {
+	return s.InsertBatch([]core.Item{it})
+}
+
+// InsertBatch routes a batch, grouping items per shard.
+func (s *Server) InsertBatch(items []core.Item) error {
+	groups := make(map[image.ShardID][]core.Item)
+	for _, it := range items {
+		if err := s.cfg.Schema.ValidatePoint(it.Coords); err != nil {
+			return err
+		}
+		id, grew, err := s.idx.RouteInsert(it.Coords)
+		if err != nil {
+			return err
+		}
+		if grew {
+			s.mu.Lock()
+			s.dirty[id] = struct{}{}
+			s.mu.Unlock()
+		}
+		groups[id] = append(groups[id], it)
+	}
+	for id, group := range groups {
+		if err := s.sendInsert(id, group, false); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.dirty[id] = struct{}{} // counts changed; sync will refresh size
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// BulkLoad routes a large batch using the workers' bulk path.
+func (s *Server) BulkLoad(items []core.Item) error {
+	groups := make(map[image.ShardID][]core.Item)
+	for _, it := range items {
+		if err := s.cfg.Schema.ValidatePoint(it.Coords); err != nil {
+			return err
+		}
+		id, _, err := s.idx.RouteInsert(it.Coords)
+		if err != nil {
+			return err
+		}
+		groups[id] = append(groups[id], it)
+	}
+	for id, group := range groups {
+		if err := s.sendInsert(id, group, true); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.dirty[id] = struct{}{}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+func (s *Server) sendInsert(id image.ShardID, items []core.Item, bulk bool) error {
+	s.mu.RLock()
+	owner := s.owners[id]
+	s.mu.RUnlock()
+	c, err := s.workerClient(owner)
+	if err != nil {
+		return err
+	}
+	op := "worker.insert"
+	if bulk {
+		op = "worker.bulkload"
+	}
+	_, err = c.Request(op, worker.EncodeInsertRequest(id, s.cfg.Schema.NumDims(), items))
+	return err
+}
+
+// QueryInfo describes the work a distributed query performed.
+type QueryInfo struct {
+	ShardsConsidered int // shards whose box touched the query
+	ShardsSearched   int // shards that actually contributed
+	WorkersContacted int
+}
+
+// Query scatter-gathers an aggregate query across the workers owning the
+// overlapping shards (§III-B) and merges the partial aggregates.
+func (s *Server) Query(q keys.Rect) (core.Aggregate, QueryInfo, error) {
+	shards := s.idx.RouteQuery(q)
+	info := QueryInfo{ShardsConsidered: len(shards)}
+	agg := core.NewAggregate()
+	if len(shards) == 0 {
+		return agg, info, nil
+	}
+	byWorker := make(map[string][]image.ShardID)
+	s.mu.RLock()
+	for _, id := range shards {
+		byWorker[s.owners[id]] = append(byWorker[s.owners[id]], id)
+	}
+	s.mu.RUnlock()
+	info.WorkersContacted = len(byWorker)
+
+	type partial struct {
+		rep worker.QueryReply
+		err error
+	}
+	results := make(chan partial, len(byWorker))
+	for workerID, ids := range byWorker {
+		go func(workerID string, ids []image.ShardID) {
+			c, err := s.workerClient(workerID)
+			if err != nil {
+				results <- partial{err: err}
+				return
+			}
+			resp, err := c.Request("worker.query", worker.EncodeQueryRequest(q, ids))
+			if err != nil {
+				results <- partial{err: err}
+				return
+			}
+			rep, err := worker.DecodeQueryReply(resp)
+			results <- partial{rep: rep, err: err}
+		}(workerID, ids)
+	}
+	var firstErr error
+	for range byWorker {
+		p := <-results
+		if p.err != nil && firstErr == nil {
+			firstErr = p.err
+			continue
+		}
+		agg.Merge(p.rep.Agg)
+		info.ShardsSearched += int(p.rep.ShardsSearched)
+	}
+	if firstErr != nil {
+		return core.NewAggregate(), info, firstErr
+	}
+	return agg, info, nil
+}
+
+// GroupBy runs one aggregate per child value of the given dimension and
+// level within the base region: the OLAP roll-up/drill-down primitive.
+// Level l must be a valid level index of the dimension (0-based); the
+// base rectangle's interval in that dimension must cover the grouped
+// values' parent region (typically the All interval).
+func (s *Server) GroupBy(base keys.Rect, dim, level int) ([]GroupResult, error) {
+	if dim < 0 || dim >= s.cfg.Schema.NumDims() {
+		return nil, fmt.Errorf("server: group-by dimension %d out of range", dim)
+	}
+	d := s.cfg.Schema.Dim(dim)
+	if level < 0 || level >= d.Depth() {
+		return nil, fmt.Errorf("server: group-by level %d out of range for %s", level, d.Name())
+	}
+	// Enumerate the level's values inside the base interval of that
+	// dimension by walking aligned intervals.
+	span := d.LeavesUnder(level + 1)
+	baseIv := base.Ivs[dim]
+	first := baseIv.Lo / span
+	last := baseIv.Hi / span
+	out := make([]GroupResult, 0, last-first+1)
+	for v := first; v <= last; v++ {
+		iv := hierarchyInterval(v*span, v*span+span-1)
+		// Clip to the base region.
+		if iv.Lo < baseIv.Lo {
+			iv.Lo = baseIv.Lo
+		}
+		if iv.Hi > baseIv.Hi {
+			iv.Hi = baseIv.Hi
+		}
+		q := keys.Rect{Ivs: append([]hierarchy.Interval(nil), base.Ivs...)}
+		q.Ivs[dim] = iv
+		agg, _, err := s.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupResult{Value: v, Agg: agg})
+	}
+	return out, nil
+}
+
+// GroupResult is one group of a GroupBy: the level-value ordinal (its
+// index among all values of that level, left to right) and its aggregate.
+type GroupResult struct {
+	Value uint64
+	Agg   core.Aggregate
+}
+
+func hierarchyInterval(lo, hi uint64) hierarchy.Interval {
+	return hierarchy.Interval{Lo: lo, Hi: hi}
+}
+
+// syncLoop pushes local bounding-box expansions and shard sizes to the
+// global image every SyncInterval (§III-B: "servers update Zookeeper
+// every 3 seconds as necessary").
+func (s *Server) syncLoop() {
+	defer s.syncWg.Done()
+	tick := time.NewTicker(s.sync)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopSync:
+			return
+		case <-tick.C:
+			s.SyncNow()
+		}
+	}
+}
+
+// SyncNow pushes all dirty shards immediately (exposed for tests and for
+// the freshness benchmarks, which sweep the effective sync interval).
+func (s *Server) SyncNow() {
+	s.mu.Lock()
+	dirty := make([]image.ShardID, 0, len(s.dirty))
+	for id := range s.dirty {
+		dirty = append(dirty, id)
+	}
+	s.dirty = make(map[image.ShardID]struct{})
+	s.mu.Unlock()
+
+	for _, id := range dirty {
+		k, count, ok := s.idx.LeafSnapshot(id)
+		if !ok {
+			continue
+		}
+		// Merge into the global record with optimistic concurrency so
+		// concurrent servers never lose each other's expansions.
+		for attempt := 0; attempt < 8; attempt++ {
+			raw, version, err := s.co.Get(image.ShardPath(id))
+			if err != nil {
+				break
+			}
+			meta, err := image.DecodeShardMetaBytes(raw)
+			if err != nil {
+				break
+			}
+			merged := meta.Key.Clone()
+			merged.ExtendKey(k)
+			if merged.Equal(meta.Key) && meta.Count >= count {
+				break // nothing new to publish
+			}
+			meta.Key = merged
+			if count > meta.Count {
+				meta.Count = count
+			}
+			if _, err := s.co.Set(image.ShardPath(id), meta.EncodeBytes(), version); err == nil {
+				s.statMu.Lock()
+				s.syncPushes++
+				s.statMu.Unlock()
+				break
+			} else if !errors.Is(err, coord.ErrBadVersion) {
+				break
+			}
+		}
+	}
+}
+
+// SyncStats returns instrumentation counters.
+func (s *Server) SyncStats() (pushes, events uint64) {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.syncPushes, s.watchEvents
+}
+
+// Listen exposes the client RPC surface and registers the server in the
+// global image.
+func (s *Server) Listen(addr string) (string, error) {
+	srv := netmsg.NewServer()
+	srv.Handle("server.insert", s.handleInsert)
+	srv.Handle("server.bulkload", s.handleBulkLoad)
+	srv.Handle("server.query", s.handleQuery)
+	srv.Handle("server.groupby", s.handleGroupBy)
+	srv.Handle("server.stats", s.handleStats)
+	srv.Handle("server.sync", func([]byte) ([]byte, error) { s.SyncNow(); return nil, nil })
+	srv.Handle("server.ping", func([]byte) ([]byte, error) { return []byte("pong"), nil })
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.srv = srv
+	s.addr = bound
+	meta := &image.ServerMeta{ID: s.id, Addr: bound}
+	if _, err := s.co.CreateOrSet(image.ServerPath(s.id), meta.EncodeBytes()); err != nil {
+		srv.Close()
+		return "", err
+	}
+	return bound, nil
+}
+
+// Close stops the server. It is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stopSync)
+		s.syncWg.Wait()
+		s.watcher.Stop()
+		if s.srv != nil {
+			s.srv.Close()
+		}
+		s.mu.Lock()
+		for _, c := range s.conns {
+			c.Close()
+		}
+		s.conns = map[string]*netmsg.Client{}
+		s.mu.Unlock()
+	})
+}
+
+// --- RPC handlers ----------------------------------------------------------
+
+func (s *Server) handleInsert(p []byte) ([]byte, error) {
+	items, err := decodeItems(p, s.cfg.Schema.NumDims())
+	if err != nil {
+		return nil, err
+	}
+	return nil, s.InsertBatch(items)
+}
+
+func (s *Server) handleBulkLoad(p []byte) ([]byte, error) {
+	items, err := decodeItems(p, s.cfg.Schema.NumDims())
+	if err != nil {
+		return nil, err
+	}
+	return nil, s.BulkLoad(items)
+}
+
+func (s *Server) handleQuery(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	q, err := keys.DecodeRect(r)
+	if err != nil {
+		return nil, err
+	}
+	agg, info, err := s.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(48)
+	agg.Encode(w)
+	w.Uvarint(uint64(info.ShardsConsidered))
+	w.Uvarint(uint64(info.ShardsSearched))
+	w.Uvarint(uint64(info.WorkersContacted))
+	return w.Bytes(), nil
+}
+
+func (s *Server) handleGroupBy(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	q, err := keys.DecodeRect(r)
+	if err != nil {
+		return nil, err
+	}
+	dim := int(r.Uvarint())
+	level := int(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	groups, err := s.GroupBy(q, dim, level)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(16 + len(groups)*40)
+	w.Uvarint(uint64(len(groups)))
+	for _, g := range groups {
+		w.Uvarint(g.Value)
+		g.Agg.Encode(w)
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeGroupByRequest builds the payload for server.groupby.
+func EncodeGroupByRequest(q keys.Rect, dim, level int) []byte {
+	w := wire.NewWriter(64)
+	q.Encode(w)
+	w.Uvarint(uint64(dim))
+	w.Uvarint(uint64(level))
+	return w.Bytes()
+}
+
+// DecodeGroupByResponse parses a server.groupby reply.
+func DecodeGroupByResponse(b []byte) ([]GroupResult, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	out := make([]GroupResult, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := r.Uvarint()
+		agg, err := core.DecodeAggregate(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupResult{Value: v, Agg: agg})
+	}
+	return out, nil
+}
+
+func (s *Server) handleStats(p []byte) ([]byte, error) {
+	w := wire.NewWriter(16)
+	w.Uvarint(uint64(s.idx.NumShards()))
+	pushes, events := s.SyncStats()
+	w.Uvarint(pushes)
+	w.Uvarint(events)
+	return w.Bytes(), nil
+}
+
+// decodeItems parses a bare item batch (no shard prefix).
+func decodeItems(p []byte, dims int) ([]core.Item, error) {
+	r := wire.NewReader(p)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	items := make([]core.Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		coords := make([]uint64, dims)
+		for d := range coords {
+			coords[d] = r.Uvarint()
+		}
+		m := r.Float64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		items = append(items, core.Item{Coords: coords, Measure: m})
+	}
+	return items, nil
+}
+
+// EncodeItems builds the payload for server.insert / server.bulkload.
+func EncodeItems(dims int, items []core.Item) []byte {
+	w := wire.NewWriter(8 + len(items)*(dims*4+8))
+	w.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		for _, c := range it.Coords {
+			w.Uvarint(c)
+		}
+		w.Float64(it.Measure)
+	}
+	return w.Bytes()
+}
+
+// DecodeQueryResponse parses a server.query reply.
+func DecodeQueryResponse(b []byte) (core.Aggregate, QueryInfo, error) {
+	r := wire.NewReader(b)
+	agg, err := core.DecodeAggregate(r)
+	if err != nil {
+		return agg, QueryInfo{}, err
+	}
+	info := QueryInfo{
+		ShardsConsidered: int(r.Uvarint()),
+		ShardsSearched:   int(r.Uvarint()),
+		WorkersContacted: int(r.Uvarint()),
+	}
+	return agg, info, r.Err()
+}

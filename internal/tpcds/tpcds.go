@@ -1,0 +1,293 @@
+// Package tpcds generates the TPC-DS-style workload the VOLAP paper
+// evaluates with: items over the eight hierarchical dimensions of the
+// paper's Figure 1, and aggregate queries that "specify values at various
+// levels in all dimensions" and span a wide range of coverages (§IV).
+//
+// The official TPC-DS generator produces relational fact tables; VOLAP
+// consumes only the dimension hierarchies and a skewed value distribution,
+// so this package synthesizes exactly those: per-level child indices are
+// drawn from a truncated power-law, which concentrates data the way real
+// retail data does and is what lets single hierarchy values reach the
+// paper's medium and high coverage bands (a query aggregating "Country 0"
+// can cover half the database).
+package tpcds
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/keys"
+)
+
+// Schema returns the 8-dimension TPC-DS schema of the paper's Figure 1:
+// Store, Customer (address), Customer (birth date), Item, Date, Household,
+// Promotion, and Time, each with its dimension hierarchy.
+func Schema() *hierarchy.Schema {
+	return hierarchy.MustSchema(
+		hierarchy.MustDimension("Store",
+			hierarchy.Level{Name: "Country", Fanout: 18},
+			hierarchy.Level{Name: "State", Fanout: 30},
+			hierarchy.Level{Name: "City", Fanout: 60}),
+		hierarchy.MustDimension("Customer",
+			hierarchy.Level{Name: "Country", Fanout: 18},
+			hierarchy.Level{Name: "State", Fanout: 30},
+			hierarchy.Level{Name: "City", Fanout: 60}),
+		hierarchy.MustDimension("Birth",
+			hierarchy.Level{Name: "BYear", Fanout: 75},
+			hierarchy.Level{Name: "BMonth", Fanout: 12},
+			hierarchy.Level{Name: "BDay", Fanout: 31}),
+		hierarchy.MustDimension("Item",
+			hierarchy.Level{Name: "Category", Fanout: 12},
+			hierarchy.Level{Name: "Class", Fanout: 24},
+			hierarchy.Level{Name: "Brand", Fanout: 50}),
+		hierarchy.MustDimension("Date",
+			hierarchy.Level{Name: "Year", Fanout: 12},
+			hierarchy.Level{Name: "Month", Fanout: 12},
+			hierarchy.Level{Name: "Day", Fanout: 31}),
+		hierarchy.MustDimension("Household",
+			hierarchy.Level{Name: "IncomeBand", Fanout: 20}),
+		hierarchy.MustDimension("Promotion",
+			hierarchy.Level{Name: "Promo", Fanout: 64}),
+		hierarchy.MustDimension("Time",
+			hierarchy.Level{Name: "Hour", Fanout: 24},
+			hierarchy.Level{Name: "Minute", Fanout: 60}),
+	)
+}
+
+// SyntheticSchema builds a uniform d-dimensional schema (depth levels of
+// the given fan-out each); Figure 5 sweeps d from 4 to 64 with it.
+func SyntheticSchema(dims, depth int, fanout uint32) *hierarchy.Schema {
+	ds := make([]*hierarchy.Dimension, dims)
+	for i := range ds {
+		levels := make([]hierarchy.Level, depth)
+		for l := range levels {
+			levels[l] = hierarchy.Level{Name: "L" + string(rune('1'+l)), Fanout: fanout}
+		}
+		ds[i] = hierarchy.MustDimension("D"+itoa(i), levels...)
+	}
+	return hierarchy.MustSchema(ds...)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// Generator produces a deterministic stream of skewed items.
+type Generator struct {
+	schema *hierarchy.Schema
+	rng    *rand.Rand
+	alpha  float64
+	// cdf[d][l] is the cumulative distribution over child indices of
+	// dimension d, level l.
+	cdf [][][]float64
+}
+
+// NewGenerator builds a generator over the schema with power-law skew
+// exponent alpha (0 = uniform; the paper-scale experiments use 1.1).
+func NewGenerator(schema *hierarchy.Schema, seed int64, alpha float64) *Generator {
+	g := &Generator{schema: schema, rng: rand.New(rand.NewSource(seed)), alpha: alpha}
+	g.cdf = make([][][]float64, schema.NumDims())
+	for d := 0; d < schema.NumDims(); d++ {
+		dim := schema.Dim(d)
+		g.cdf[d] = make([][]float64, dim.Depth())
+		for l := 0; l < dim.Depth(); l++ {
+			f := int(dim.Level(l).Fanout)
+			cdf := make([]float64, f)
+			total := 0.0
+			for i := 0; i < f; i++ {
+				total += 1 / math.Pow(float64(i+1), alpha)
+				cdf[i] = total
+			}
+			for i := range cdf {
+				cdf[i] /= total
+			}
+			g.cdf[d][l] = cdf
+		}
+	}
+	return g
+}
+
+// drawChild samples a child index at dimension d, level l.
+func (g *Generator) drawChild(d, l int) uint32 {
+	cdf := g.cdf[d][l]
+	u := g.rng.Float64()
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}
+
+// Item draws the next item: a skewed point plus a sales-like measure.
+func (g *Generator) Item() core.Item {
+	coords := make([]uint64, g.schema.NumDims())
+	for d := range coords {
+		dim := g.schema.Dim(d)
+		path := make([]uint32, dim.Depth())
+		for l := range path {
+			path[l] = g.drawChild(d, l)
+		}
+		ord, err := dim.Ordinal(path)
+		if err != nil {
+			panic(err) // drawChild respects fan-outs
+		}
+		coords[d] = ord
+	}
+	return core.Item{Coords: coords, Measure: math.Round(g.rng.ExpFloat64()*50*100) / 100}
+}
+
+// Items draws n items.
+func (g *Generator) Items(n int) []core.Item {
+	out := make([]core.Item, n)
+	for i := range out {
+		out[i] = g.Item()
+	}
+	return out
+}
+
+// Query draws a random aggregate query: in every dimension a hierarchy
+// value at a random level (biased shallow so coverage spans the whole
+// range), with the value drawn from the same skewed distribution as the
+// data.
+func (g *Generator) Query() keys.Rect {
+	ivs := make([]hierarchy.Interval, g.schema.NumDims())
+	for d := range ivs {
+		dim := g.schema.Dim(d)
+		depth := g.drawDepth(dim.Depth())
+		prefix := make([]uint32, depth)
+		for l := 0; l < depth; l++ {
+			prefix[l] = g.drawChild(d, l)
+		}
+		iv, err := dim.NodeInterval(depth, prefix)
+		if err != nil {
+			panic(err)
+		}
+		ivs[d] = iv
+	}
+	return keys.Rect{Ivs: ivs}
+}
+
+// drawDepth favors shallow query levels: P(0) ≈ 0.55, then halving.
+func (g *Generator) drawDepth(maxDepth int) int {
+	u := g.rng.Float64()
+	p := 0.55
+	for depth := 0; depth < maxDepth; depth++ {
+		if u < p {
+			return depth
+		}
+		u -= p
+		p /= 2
+	}
+	return maxDepth
+}
+
+// Band is a query coverage band as defined in §IV: the percentage of the
+// database a query aggregates.
+type Band int
+
+const (
+	// Low coverage: below 33%.
+	Low Band = iota
+	// Medium coverage: 33% to 66%.
+	Medium
+	// High coverage: above 66%.
+	High
+	numBands
+)
+
+// String names the band.
+func (b Band) String() string {
+	switch b {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return "band?"
+	}
+}
+
+// BandOf classifies a true coverage fraction.
+func BandOf(frac float64) Band {
+	switch {
+	case frac < 0.33:
+		return Low
+	case frac <= 0.66:
+		return Medium
+	default:
+		return High
+	}
+}
+
+// BinnedQueries is a per-band pool of queries with known true coverage.
+type BinnedQueries struct {
+	Rects [3][]keys.Rect
+	Fracs [3][]float64
+}
+
+// Pick returns a random query from the band's pool.
+func (b *BinnedQueries) Pick(rng *rand.Rand, band Band) keys.Rect {
+	pool := b.Rects[band]
+	return pool[rng.Intn(len(pool))]
+}
+
+// GenerateBinned draws candidate queries, measures their true coverage
+// with the supplied count function (typically a Store or cluster query),
+// and bins them until every band holds perBand queries or the attempt
+// budget is exhausted (paper §IV: "queries are tested against the
+// database and binned according to their true coverage").
+func (g *Generator) GenerateBinned(count func(keys.Rect) uint64, total uint64, perBand, maxAttempts int) BinnedQueries {
+	var out BinnedQueries
+	need := func() bool {
+		for b := 0; b < int(numBands); b++ {
+			if len(out.Rects[b]) < perBand {
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; attempt < maxAttempts && need(); attempt++ {
+		q := g.Query()
+		frac := 0.0
+		if total > 0 {
+			frac = float64(count(q)) / float64(total)
+		}
+		b := BandOf(frac)
+		if len(out.Rects[b]) < perBand {
+			out.Rects[b] = append(out.Rects[b], q)
+			out.Fracs[b] = append(out.Fracs[b], frac)
+		}
+	}
+	// Guarantee non-empty bands: the all-space query is high coverage,
+	// and a leaf-level query is (almost surely) low coverage.
+	if len(out.Rects[High]) == 0 {
+		out.Rects[High] = append(out.Rects[High], keys.AllRect(g.schema))
+		out.Fracs[High] = append(out.Fracs[High], 1)
+	}
+	for b := Low; b <= Medium; b++ {
+		if len(out.Rects[b]) == 0 {
+			out.Rects[b] = append(out.Rects[b], out.Rects[High][0])
+			out.Fracs[b] = append(out.Fracs[b], out.Fracs[High][0])
+		}
+	}
+	return out
+}

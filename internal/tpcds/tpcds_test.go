@@ -1,0 +1,189 @@
+package tpcds
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if s.NumDims() != 8 {
+		t.Fatalf("TPC-DS schema has %d dims, want 8 (Figure 1)", s.NumDims())
+	}
+	names := []string{"Store", "Customer", "Birth", "Item", "Date", "Household", "Promotion", "Time"}
+	for i, want := range names {
+		if got := s.Dim(i).Name(); got != want {
+			t.Errorf("dim %d = %s, want %s", i, got, want)
+		}
+	}
+	for _, eb := range s.ExpandedBits() {
+		if eb == 0 || eb > 64 {
+			t.Errorf("expanded bits out of range: %v", s.ExpandedBits())
+		}
+	}
+}
+
+func TestSyntheticSchema(t *testing.T) {
+	s := SyntheticSchema(16, 3, 8)
+	if s.NumDims() != 16 {
+		t.Fatalf("dims = %d", s.NumDims())
+	}
+	for i := 0; i < 16; i++ {
+		if s.Dim(i).Depth() != 3 || s.Dim(i).LeafCount() != 8*8*8 {
+			t.Fatalf("dim %d shape wrong: %s", i, s.Dim(i))
+		}
+	}
+	if s.Dim(0).Name() == s.Dim(1).Name() {
+		t.Error("synthetic dims must have distinct names")
+	}
+	if itoa(0) != "0" || itoa(42) != "42" || itoa(137) != "137" {
+		t.Error("itoa wrong")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	s := Schema()
+	a := NewGenerator(s, 42, 1.1)
+	b := NewGenerator(s, 42, 1.1)
+	for i := 0; i < 50; i++ {
+		ia, ib := a.Item(), b.Item()
+		if ia.Measure != ib.Measure {
+			t.Fatal("same seed must give same stream")
+		}
+		for d := range ia.Coords {
+			if ia.Coords[d] != ib.Coords[d] {
+				t.Fatal("same seed must give same coords")
+			}
+		}
+	}
+	c := NewGenerator(s, 43, 1.1)
+	same := true
+	for i := 0; i < 10; i++ {
+		ia, ic := a.Item(), c.Item()
+		for d := range ia.Coords {
+			if ia.Coords[d] != ic.Coords[d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical streams")
+	}
+}
+
+func TestItemsValid(t *testing.T) {
+	s := Schema()
+	g := NewGenerator(s, 7, 1.1)
+	for _, it := range g.Items(2000) {
+		if err := s.ValidatePoint(it.Coords); err != nil {
+			t.Fatal(err)
+		}
+		if it.Measure < 0 {
+			t.Fatalf("negative measure %f", it.Measure)
+		}
+	}
+}
+
+func TestSkew(t *testing.T) {
+	// With alpha=1.1 the first country must hold far more than the
+	// uniform share of items.
+	s := Schema()
+	g := NewGenerator(s, 9, 1.1)
+	firstCountry := 0
+	const n = 5000
+	span := s.Dim(0).LeavesUnder(1) // leaves under one country
+	for i := 0; i < n; i++ {
+		it := g.Item()
+		if it.Coords[0] < span {
+			firstCountry++
+		}
+	}
+	uniformShare := 1.0 / 18
+	if got := float64(firstCountry) / n; got < 2*uniformShare {
+		t.Errorf("country 0 share %.3f, want well above uniform %.3f", got, uniformShare)
+	}
+	// Uniform generator should be close to the uniform share.
+	gu := NewGenerator(s, 9, 0)
+	firstCountry = 0
+	for i := 0; i < n; i++ {
+		if gu.Item().Coords[0] < span {
+			firstCountry++
+		}
+	}
+	if got := float64(firstCountry) / n; got > 2*uniformShare {
+		t.Errorf("alpha=0 country 0 share %.3f, want about %.3f", got, uniformShare)
+	}
+}
+
+func TestQueryValid(t *testing.T) {
+	s := Schema()
+	g := NewGenerator(s, 11, 1.1)
+	depths := map[int]int{}
+	for i := 0; i < 500; i++ {
+		q := g.Query()
+		if len(q.Ivs) != s.NumDims() {
+			t.Fatal("query dims wrong")
+		}
+		for d, iv := range q.Ivs {
+			if iv.Hi >= s.Dim(d).LeafCount() {
+				t.Fatalf("query interval out of range: %v", iv)
+			}
+			depth := s.Dim(d).DepthOfInterval(iv)
+			if depth < 0 {
+				t.Fatalf("query interval %v is not a hierarchy value", iv)
+			}
+			depths[depth]++
+		}
+	}
+	if depths[0] == 0 || depths[1] == 0 {
+		t.Errorf("query depths not diverse: %v", depths)
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	if BandOf(0.1) != Low || BandOf(0.5) != Medium || BandOf(0.9) != High {
+		t.Error("BandOf wrong")
+	}
+	if BandOf(0.33) != Medium || BandOf(0.66) != Medium {
+		t.Error("band boundaries wrong (33%% and 66%% are medium)")
+	}
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Error("Band.String wrong")
+	}
+}
+
+// TestGenerateBinned loads a store with skewed data and checks the binning
+// machinery produces queries in every band whose measured coverage matches
+// the band.
+func TestGenerateBinned(t *testing.T) {
+	s := Schema()
+	g := NewGenerator(s, 21, 1.1)
+	store, err := core.NewStore(core.Config{Schema: s, Store: core.StoreHilbertPDC, Keys: keys.MDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.BulkLoad(g.Items(20000)); err != nil {
+		t.Fatal(err)
+	}
+	count := func(q keys.Rect) uint64 { return store.Query(q).Count }
+	bins := g.GenerateBinned(count, store.Count(), 5, 4000)
+	for b := Low; b <= High; b++ {
+		if len(bins.Rects[b]) == 0 {
+			t.Fatalf("band %s empty", b)
+		}
+		for i, q := range bins.Rects[b] {
+			frac := float64(count(q)) / float64(store.Count())
+			if BandOf(frac) != b && bins.Fracs[b][i] != bins.Fracs[High][0] {
+				t.Errorf("band %s query %d has coverage %.3f", b, i, frac)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	q := bins.Pick(rng, Medium)
+	if len(q.Ivs) != s.NumDims() {
+		t.Error("Pick returned malformed query")
+	}
+}

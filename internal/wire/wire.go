@@ -1,0 +1,243 @@
+// Package wire provides small binary encoding helpers shared by the
+// messaging layer, the coordination service, and the shard/key
+// serialization code. All integers are encoded little-endian; variable
+// length integers use the unsigned LEB128-style encoding from
+// encoding/binary.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShortBuffer is returned by Reader methods when the underlying buffer
+// does not contain enough bytes for the requested value.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Writer accumulates a binary message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded message. The returned slice aliases the
+// writer's internal buffer and is valid until the next mutation.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer, retaining its buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint8 appends a single byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Uint8(1)
+	} else {
+		w.Uint8(0)
+	}
+}
+
+// Uint16 appends a fixed-width 16-bit integer.
+func (w *Writer) Uint16(v uint16) {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// Uint32 appends a fixed-width 32-bit integer.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// Uint64 appends a fixed-width 64-bit integer.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Uvarint appends a variable-width unsigned integer.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a variable-width signed integer.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Float64 appends an IEEE-754 double.
+func (w *Writer) Float64(v float64) {
+	w.Uint64(math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes1 appends a length-prefixed byte slice.
+func (w *Writer) Bytes1(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Uint64s appends a length-prefixed slice of 64-bit integers using
+// varint encoding for the elements.
+func (w *Writer) Uint64s(vs []uint64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Uvarint(v)
+	}
+}
+
+// Reader decodes a binary message produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+
+// Uint8 reads a single byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a boolean encoded as one byte.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// Uint16 reads a fixed-width 16-bit integer.
+func (r *Reader) Uint16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// Uint32 reads a fixed-width 32-bit integer.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 reads a fixed-width 64-bit integer.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Uvarint reads a variable-width unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a variable-width signed integer.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() float64 {
+	return math.Float64frombits(r.Uint64())
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil || r.off+int(n) > len(r.buf) || n > uint64(len(r.buf)) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes1 reads a length-prefixed byte slice. The returned slice is a copy.
+func (r *Reader) Bytes1() []byte {
+	n := r.Uvarint()
+	if r.err != nil || n > uint64(len(r.buf)) || r.off+int(n) > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return b
+}
+
+// Uint64s reads a length-prefixed slice of varint-encoded integers.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.Uvarint()
+	if r.err != nil || n > uint64(len(r.buf)) {
+		r.fail()
+		return nil
+	}
+	vs := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		vs = append(vs, r.Uvarint())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return vs
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(0x0123456789ABCDEF)
+	w.Uvarint(300)
+	w.Varint(-77)
+	w.Float64(math.Pi)
+	w.String("héllo")
+	w.Bytes1([]byte{1, 2, 3})
+	w.Uint64s([]uint64{9, 8, 7})
+
+	r := NewReader(w.Bytes())
+	if r.Uint8() != 0xAB || !r.Bool() || r.Bool() {
+		t.Fatal("uint8/bool wrong")
+	}
+	if r.Uint16() != 0xBEEF || r.Uint32() != 0xDEADBEEF || r.Uint64() != 0x0123456789ABCDEF {
+		t.Fatal("fixed ints wrong")
+	}
+	if r.Uvarint() != 300 || r.Varint() != -77 {
+		t.Fatal("varints wrong")
+	}
+	if r.Float64() != math.Pi {
+		t.Fatal("float wrong")
+	}
+	if r.String() != "héllo" {
+		t.Fatal("string wrong")
+	}
+	b := r.Bytes1()
+	if len(b) != 3 || b[2] != 3 {
+		t.Fatal("bytes wrong")
+	}
+	vs := r.Uint64s()
+	if len(vs) != 3 || vs[0] != 9 {
+		t.Fatal("uint64s wrong")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint64(1)
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+// TestShortBuffer checks every reader method fails cleanly on truncated
+// input and that the error sticks.
+func TestShortBuffer(t *testing.T) {
+	checks := []func(r *Reader){
+		func(r *Reader) { r.Uint8() },
+		func(r *Reader) { r.Uint16() },
+		func(r *Reader) { r.Uint32() },
+		func(r *Reader) { r.Uint64() },
+		func(r *Reader) { r.Uvarint() },
+		func(r *Reader) { r.Varint() },
+		func(r *Reader) { r.Float64() },
+		func(r *Reader) { _ = r.String() },
+		func(r *Reader) { r.Bytes1() },
+		func(r *Reader) { r.Uint64s() },
+	}
+	for i, check := range checks {
+		r := NewReader(nil)
+		check(r)
+		if r.Err() != ErrShortBuffer {
+			t.Errorf("check %d: err = %v", i, r.Err())
+		}
+		// The error is sticky: further reads return zero values.
+		if r.Uint64() != 0 || r.String() != "" {
+			t.Errorf("check %d: reads after error not zero", i)
+		}
+	}
+	// Length prefix larger than the buffer.
+	w := NewWriter(8)
+	w.Uvarint(1000)
+	r := NewReader(w.Bytes())
+	if r.Bytes1() != nil || r.Err() == nil {
+		t.Error("oversized length prefix should fail")
+	}
+	w.Reset()
+	w.Uvarint(1 << 40)
+	r = NewReader(w.Bytes())
+	if r.Uint64s() != nil || r.Err() == nil {
+		t.Error("oversized slice count should fail")
+	}
+}
+
+// TestVarintQuick property-tests varint round trips.
+func TestVarintQuick(t *testing.T) {
+	f := func(u uint64, v int64) bool {
+		w := NewWriter(24)
+		w.Uvarint(u)
+		w.Varint(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == u && r.Varint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package worker
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/wire"
+)
+
+// This file implements the worker-side load-balancing operations of
+// §III-E: SplitQuery, Split (with the mapping-table replacement of one
+// shard by two), and shard migration (serialize, transfer, queue drain,
+// forwarding). All of them keep the shard fully readable and writable:
+// inserts land in an insertion queue and queries consult shard + queue.
+
+// SplitResult reports the outcome of a shard split.
+type SplitResult struct {
+	LeftID, RightID       image.ShardID
+	LeftCount, RightCount uint64
+	LeftKey, RightKey     *keys.Key
+}
+
+// EncodeSplitRequest builds the payload for worker.splitshard.
+func EncodeSplitRequest(shard, newShard image.ShardID) []byte {
+	w := wire.NewWriter(16)
+	w.Uvarint(uint64(shard))
+	w.Uvarint(uint64(newShard))
+	return w.Bytes()
+}
+
+// DecodeSplitResult parses a worker.splitshard response.
+func DecodeSplitResult(b []byte) (*SplitResult, error) {
+	r := wire.NewReader(b)
+	res := &SplitResult{
+		LeftID:     image.ShardID(r.Uvarint()),
+		RightID:    image.ShardID(r.Uvarint()),
+		LeftCount:  r.Uvarint(),
+		RightCount: r.Uvarint(),
+	}
+	var err error
+	if res.LeftKey, err = keys.DecodeKey(r); err != nil {
+		return nil, err
+	}
+	if res.RightKey, err = keys.DecodeKey(r); err != nil {
+		return nil, err
+	}
+	return res, r.Err()
+}
+
+func (w *Worker) handleSplitQuery(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	st := w.shard(id)
+	if st == nil {
+		return nil, fmt.Errorf("worker %s: unknown shard %d", w.id, id)
+	}
+	st.mu.RLock()
+	store := st.store
+	st.mu.RUnlock()
+	if store == nil {
+		return nil, fmt.Errorf("worker %s: shard %d unavailable", w.id, id)
+	}
+	h, err := store.SplitQuery()
+	if err != nil {
+		return nil, err
+	}
+	out := wire.NewWriter(16)
+	out.Varint(int64(h.Dim))
+	out.Uvarint(h.Value)
+	return out.Bytes(), nil
+}
+
+func (w *Worker) handleSplitShard(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	newID := image.ShardID(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	res, err := w.SplitShard(id, newID)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.NewWriter(64)
+	out.Uvarint(uint64(res.LeftID))
+	out.Uvarint(uint64(res.RightID))
+	out.Uvarint(res.LeftCount)
+	out.Uvarint(res.RightCount)
+	res.LeftKey.Encode(out)
+	res.RightKey.Encode(out)
+	return out.Bytes(), nil
+}
+
+// SplitShard splits the shard in place: the original ID keeps the lower
+// half and newID receives the upper half (§III-E Split + mapping table).
+// Inserts arriving during the split land in the insertion queue and are
+// re-routed across the halves by the hyperplane afterwards; queries are
+// never blocked.
+func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
+	st := w.shard(id)
+	if st == nil {
+		return nil, fmt.Errorf("worker %s: unknown shard %d", w.id, id)
+	}
+	if w.shard(newID) != nil {
+		return nil, fmt.Errorf("worker %s: shard %d already hosted", w.id, newID)
+	}
+
+	// Install the insertion queue.
+	queue, err := core.NewStore(w.cfg.StoreConfig())
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	store := st.store
+	if store == nil || st.queue != nil {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("worker %s: shard %d busy or gone", w.id, id)
+	}
+	st.queue = queue
+	st.mu.Unlock()
+
+	fail := func(err error) (*SplitResult, error) {
+		// Roll back: drain the queue into the store and remove it.
+		st.mu.Lock()
+		q := st.queue
+		st.queue = nil
+		st.mu.Unlock()
+		if q != nil {
+			q.Items(func(it core.Item) bool { _ = st.store.Insert(it); return true })
+		}
+		return nil, err
+	}
+
+	h, err := store.SplitQuery()
+	if err != nil {
+		return fail(err)
+	}
+	left, right, err := store.Split(h)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Swap in the halves, draining the queue across them by hyperplane.
+	newState := &shardState{store: right}
+	st.mu.Lock()
+	q := st.queue
+	st.queue = nil
+	alt := 0
+	q.Items(func(it core.Item) bool {
+		toLeft := h.Dim >= 0 && it.Coords[h.Dim] <= h.Value
+		if h.Dim < 0 {
+			toLeft = alt%2 == 0
+			alt++
+		}
+		if toLeft {
+			_ = left.Insert(it)
+		} else {
+			_ = right.Insert(it)
+		}
+		return true
+	})
+	st.store = left
+	st.mu.Unlock()
+
+	w.mu.Lock()
+	w.shards[newID] = newState
+	w.mu.Unlock()
+
+	return &SplitResult{
+		LeftID: id, RightID: newID,
+		LeftCount: left.Count(), RightCount: right.Count(),
+		LeftKey: left.Key(), RightKey: right.Key(),
+	}, nil
+}
+
+// EncodeSendRequest builds the payload for worker.sendshard.
+func EncodeSendRequest(shard image.ShardID, destAddr string) []byte {
+	w := wire.NewWriter(32)
+	w.Uvarint(uint64(shard))
+	w.String(destAddr)
+	return w.Bytes()
+}
+
+func (w *Worker) handleSendShard(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	dest := r.String()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	n, err := w.SendShard(id, dest)
+	if err != nil {
+		return nil, err
+	}
+	out := wire.NewWriter(8)
+	out.Uvarint(n)
+	return out.Bytes(), nil
+}
+
+// SendShard migrates a shard to the worker at destAddr (§III-E): an
+// insertion queue absorbs writes while the shard is serialized and
+// transferred, the queue is drained to the destination, and a forwarding
+// entry serves stragglers until every server image has caught up. Returns
+// the number of items shipped.
+func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
+	st := w.shard(id)
+	if st == nil {
+		return 0, fmt.Errorf("worker %s: unknown shard %d", w.id, id)
+	}
+	queue, err := core.NewStore(w.cfg.StoreConfig())
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	store := st.store
+	if store == nil || st.queue != nil {
+		st.mu.Unlock()
+		return 0, fmt.Errorf("worker %s: shard %d busy or gone", w.id, id)
+	}
+	st.queue = queue
+	st.mu.Unlock()
+
+	rollback := func(err error) (uint64, error) {
+		st.mu.Lock()
+		q := st.queue
+		st.queue = nil
+		st.mu.Unlock()
+		if q != nil {
+			q.Items(func(it core.Item) bool { _ = store.Insert(it); return true })
+		}
+		return 0, err
+	}
+
+	peer, err := w.peer(destAddr)
+	if err != nil {
+		return rollback(err)
+	}
+
+	// Transfer the serialized shard (SerializeShard/DeserializeShard).
+	blob := store.Serialize()
+	req := wire.NewWriter(len(blob) + 16)
+	req.Uvarint(uint64(id))
+	req.Bytes1(blob)
+	if _, err := peer.Request("worker.receiveshard", req.Bytes()); err != nil {
+		return rollback(err)
+	}
+	shipped := store.Count()
+
+	// Drain the queue in rounds: swap a fresh queue in, ship the old one,
+	// and finish under the write lock when a round comes up empty.
+	for round := 0; ; round++ {
+		st.mu.Lock()
+		q := st.queue
+		if q.Count() == 0 || round >= 8 {
+			// Final round: forward everything still queued while holding
+			// the lock, then flip to forwarding mode.
+			var leftover []core.Item
+			q.Items(func(it core.Item) bool { leftover = append(leftover, it); return true })
+			if len(leftover) > 0 {
+				if _, err := peer.Request("worker.insert", EncodeInsertRequest(id, w.cfg.Schema.NumDims(), leftover)); err != nil {
+					st.mu.Unlock()
+					return rollback(err)
+				}
+				shipped += uint64(len(leftover))
+			}
+			st.store = nil
+			st.queue = nil
+			st.forward = destAddr
+			st.mu.Unlock()
+			return shipped, nil
+		}
+		fresh, err := core.NewStore(w.cfg.StoreConfig())
+		if err != nil {
+			st.mu.Unlock()
+			return rollback(err)
+		}
+		st.queue = fresh
+		st.mu.Unlock()
+
+		var batch []core.Item
+		q.Items(func(it core.Item) bool { batch = append(batch, it); return true })
+		if len(batch) > 0 {
+			if _, err := peer.Request("worker.insert", EncodeInsertRequest(id, w.cfg.Schema.NumDims(), batch)); err != nil {
+				return rollback(err)
+			}
+			shipped += uint64(len(batch))
+		}
+	}
+}
+
+func (w *Worker) handleReceiveShard(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	blob := r.Bytes1()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	store, err := core.DeserializeStore(blob)
+	if err != nil {
+		return nil, err
+	}
+	if store.Config().Schema.Fingerprint() != w.cfg.Schema.Fingerprint() {
+		return nil, fmt.Errorf("worker %s: received shard with foreign schema", w.id)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if st, ok := w.shards[id]; ok {
+		st.mu.RLock()
+		occupied := st.store != nil || st.queue != nil
+		st.mu.RUnlock()
+		if occupied {
+			return nil, fmt.Errorf("worker %s: shard %d already hosted", w.id, id)
+		}
+		// Re-receiving a shard that previously migrated away: replace the
+		// forwarding tombstone.
+		st.mu.Lock()
+		st.store = store
+		st.forward = ""
+		st.mu.Unlock()
+		return nil, nil
+	}
+	w.shards[id] = &shardState{store: store}
+	return nil, nil
+}

@@ -1,0 +1,485 @@
+// Package worker implements VOLAP's worker nodes (§III-A, §III-E): each
+// worker stores several shards in memory, executes insert and aggregate
+// query operations on them in parallel, publishes shard statistics to the
+// coordination service, and participates in load balancing — splitting
+// shards, serializing and migrating them to other workers — while
+// continuing to serve both inserts (via per-shard insertion queues) and
+// queries (shard plus queue are consulted) throughout.
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/netmsg"
+	"repro/internal/wire"
+)
+
+// shardState is one hosted shard. The store itself is internally
+// concurrent; the state's lock guards the queue/forward transitions made
+// by load-balancing operations (§III-E mapping table).
+type shardState struct {
+	mu      sync.RWMutex
+	store   core.Store
+	queue   core.Store // non-nil while a split or migration is in progress
+	forward string     // destination worker address after migration
+}
+
+// Worker is one worker node.
+type Worker struct {
+	id   string
+	cfg  *image.ClusterConfig
+	srv  *netmsg.Server
+	addr string
+
+	mu     sync.RWMutex
+	shards map[image.ShardID]*shardState
+
+	peerMu sync.Mutex
+	peers  map[string]*netmsg.Client // addr -> client (for forwarding/migration)
+
+	statPublish func(*image.WorkerMeta) // set by Start when a coordinator is attached
+	stopStats   chan struct{}
+	statsWg     sync.WaitGroup
+	closeOnce   sync.Once
+}
+
+// Moved is the error prefix returned when a shard has migrated away and
+// forwarding is impossible; servers refresh their image and retry.
+const movedPrefix = "worker: shard moved to "
+
+// New builds a worker (not yet listening).
+func New(id string, cfg *image.ClusterConfig) *Worker {
+	return &Worker{
+		id:     id,
+		cfg:    cfg,
+		shards: make(map[image.ShardID]*shardState),
+		peers:  make(map[string]*netmsg.Client),
+	}
+}
+
+// ID returns the worker's identifier.
+func (w *Worker) ID() string { return w.id }
+
+// Addr returns the bound address (after Listen).
+func (w *Worker) Addr() string { return w.addr }
+
+// Listen binds the worker's RPC server.
+func (w *Worker) Listen(addr string) (string, error) {
+	srv := netmsg.NewServer()
+	srv.Handle("worker.createshard", w.handleCreateShard)
+	srv.Handle("worker.insert", w.handleInsert)
+	srv.Handle("worker.bulkload", w.handleBulkLoad)
+	srv.Handle("worker.query", w.handleQuery)
+	srv.Handle("worker.stats", w.handleStats)
+	srv.Handle("worker.shardcounts", w.handleShardCounts)
+	srv.Handle("worker.splitquery", w.handleSplitQuery)
+	srv.Handle("worker.splitshard", w.handleSplitShard)
+	srv.Handle("worker.sendshard", w.handleSendShard)
+	srv.Handle("worker.receiveshard", w.handleReceiveShard)
+	srv.Handle("worker.ping", func([]byte) ([]byte, error) { return []byte("pong"), nil })
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	w.srv = srv
+	w.addr = bound
+	return bound, nil
+}
+
+// StartStats begins periodic statistics publication through publish (the
+// server-side half lives in the coordinator); the paper's workers "update
+// shard statistics in Zookeeper periodically" (§III-B).
+func (w *Worker) StartStats(publish func(*image.WorkerMeta), interval time.Duration) {
+	w.statPublish = publish
+	w.stopStats = make(chan struct{})
+	w.statsWg.Add(1)
+	go func() {
+		defer w.statsWg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			publish(w.Meta())
+			select {
+			case <-w.stopStats:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// Meta snapshots the worker's statistics.
+func (w *Worker) Meta() *image.WorkerMeta {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m := &image.WorkerMeta{ID: w.id, Addr: w.addr, UpdatedMs: time.Now().UnixMilli()}
+	for _, st := range w.shards {
+		st.mu.RLock()
+		if st.store != nil {
+			m.Shards++
+			m.Items += st.store.Count()
+			m.MemBytes += st.store.MemoryBytes()
+			if st.queue != nil {
+				m.Items += st.queue.Count()
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return m
+}
+
+// ShardCount returns the item count of one shard (0 if absent).
+func (w *Worker) ShardCount(id image.ShardID) uint64 {
+	w.mu.RLock()
+	st := w.shards[id]
+	w.mu.RUnlock()
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var n uint64
+	if st.store != nil {
+		n += st.store.Count()
+	}
+	if st.queue != nil {
+		n += st.queue.Count()
+	}
+	return n
+}
+
+// Close stops the worker. It is idempotent.
+func (w *Worker) Close() {
+	w.closeOnce.Do(func() {
+		if w.stopStats != nil {
+			close(w.stopStats)
+			w.statsWg.Wait()
+		}
+		if w.srv != nil {
+			w.srv.Close()
+		}
+		w.peerMu.Lock()
+		for _, c := range w.peers {
+			c.Close()
+		}
+		w.peers = nil
+		w.peerMu.Unlock()
+	})
+}
+
+// peer returns (dialing if needed) a client to another worker.
+func (w *Worker) peer(addr string) (*netmsg.Client, error) {
+	w.peerMu.Lock()
+	defer w.peerMu.Unlock()
+	if w.peers == nil {
+		return nil, netmsg.ErrClosed
+	}
+	if c, ok := w.peers[addr]; ok {
+		return c, nil
+	}
+	c, err := netmsg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	w.peers[addr] = c
+	return c, nil
+}
+
+func (w *Worker) shard(id image.ShardID) *shardState {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.shards[id]
+}
+
+// CreateShard installs a fresh empty shard store.
+func (w *Worker) CreateShard(id image.ShardID) error {
+	store, err := core.NewStore(w.cfg.StoreConfig())
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.shards[id]; dup {
+		return fmt.Errorf("worker: shard %d already hosted", id)
+	}
+	w.shards[id] = &shardState{store: store}
+	return nil
+}
+
+// --- wire helpers --------------------------------------------------------
+
+// encodeItems appends items to the writer.
+func encodeItems(w *wire.Writer, dims int, items []core.Item) {
+	w.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		for _, c := range it.Coords {
+			w.Uvarint(c)
+		}
+		w.Float64(it.Measure)
+	}
+}
+
+// decodeItems reads items written by encodeItems.
+func decodeItems(r *wire.Reader, dims int) ([]core.Item, error) {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	items := make([]core.Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		coords := make([]uint64, dims)
+		for d := range coords {
+			coords[d] = r.Uvarint()
+		}
+		m := r.Float64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		items = append(items, core.Item{Coords: coords, Measure: m})
+	}
+	return items, nil
+}
+
+// EncodeInsertRequest builds the payload for worker.insert / bulkload.
+func EncodeInsertRequest(shard image.ShardID, dims int, items []core.Item) []byte {
+	w := wire.NewWriter(16 + len(items)*(dims*4+8))
+	w.Uvarint(uint64(shard))
+	encodeItems(w, dims, items)
+	return w.Bytes()
+}
+
+// EncodeQueryRequest builds the payload for worker.query.
+func EncodeQueryRequest(q keys.Rect, shards []image.ShardID) []byte {
+	w := wire.NewWriter(64)
+	q.Encode(w)
+	w.Uvarint(uint64(len(shards)))
+	for _, id := range shards {
+		w.Uvarint(uint64(id))
+	}
+	return w.Bytes()
+}
+
+// QueryReply is the decoded result of worker.query.
+type QueryReply struct {
+	Agg            core.Aggregate
+	ShardsSearched uint32
+}
+
+// DecodeQueryReply parses a worker.query response.
+func DecodeQueryReply(b []byte) (QueryReply, error) {
+	r := wire.NewReader(b)
+	agg, err := core.DecodeAggregate(r)
+	if err != nil {
+		return QueryReply{}, err
+	}
+	return QueryReply{Agg: agg, ShardsSearched: uint32(r.Uvarint())}, r.Err()
+}
+
+// --- RPC handlers ----------------------------------------------------------
+
+func (w *Worker) handleCreateShard(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return nil, w.CreateShard(id)
+}
+
+func (w *Worker) handleInsert(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	items, err := decodeItems(r, w.cfg.Schema.NumDims())
+	if err != nil {
+		return nil, err
+	}
+	return nil, w.Insert(id, items)
+}
+
+// Insert applies items to a shard, diverting to the insertion queue
+// during load-balancing operations and forwarding after a migration.
+func (w *Worker) Insert(id image.ShardID, items []core.Item) error {
+	st := w.shard(id)
+	if st == nil {
+		return fmt.Errorf("worker %s: unknown shard %d", w.id, id)
+	}
+	st.mu.RLock()
+	switch {
+	case st.queue != nil:
+		q := st.queue
+		defer st.mu.RUnlock()
+		return q.BulkLoad(items)
+	case st.store != nil:
+		s := st.store
+		defer st.mu.RUnlock()
+		for _, it := range items {
+			if err := s.Insert(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	case st.forward != "":
+		dest := st.forward
+		st.mu.RUnlock()
+		peer, err := w.peer(dest)
+		if err != nil {
+			return errors.New(movedPrefix + dest)
+		}
+		_, err = peer.Request("worker.insert", EncodeInsertRequest(id, w.cfg.Schema.NumDims(), items))
+		return err
+	default:
+		st.mu.RUnlock()
+		return fmt.Errorf("worker %s: shard %d unavailable", w.id, id)
+	}
+}
+
+func (w *Worker) handleBulkLoad(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	id := image.ShardID(r.Uvarint())
+	items, err := decodeItems(r, w.cfg.Schema.NumDims())
+	if err != nil {
+		return nil, err
+	}
+	st := w.shard(id)
+	if st == nil {
+		return nil, fmt.Errorf("worker %s: unknown shard %d", w.id, id)
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.queue != nil {
+		return nil, st.queue.BulkLoad(items)
+	}
+	if st.store == nil {
+		return nil, fmt.Errorf("worker %s: shard %d unavailable", w.id, id)
+	}
+	return nil, st.store.BulkLoad(items)
+}
+
+func (w *Worker) handleQuery(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	q, err := keys.DecodeRect(r)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	agg := core.NewAggregate()
+	searched := uint32(0)
+	for i := uint64(0); i < n; i++ {
+		id := image.ShardID(r.Uvarint())
+		part, ok, err := w.QueryShard(id, q)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			agg.Merge(part)
+			searched++
+		}
+	}
+	out := wire.NewWriter(40)
+	agg.Encode(out)
+	out.Uvarint(uint64(searched))
+	return out.Bytes(), nil
+}
+
+// QueryShard aggregates one shard (including its insertion queue, so
+// "query processing is not interrupted while a split is in progress",
+// §III-E). Forwards if the shard migrated away. The boolean reports
+// whether the shard contributed (false for unknown shards, which can
+// happen transiently when a server's image is ahead of this worker).
+func (w *Worker) QueryShard(id image.ShardID, q keys.Rect) (core.Aggregate, bool, error) {
+	st := w.shard(id)
+	if st == nil {
+		return core.NewAggregate(), false, nil
+	}
+	st.mu.RLock()
+	store, queue, forward := st.store, st.queue, st.forward
+	if store == nil && forward != "" {
+		st.mu.RUnlock()
+		peer, err := w.peer(forward)
+		if err != nil {
+			return core.NewAggregate(), false, errors.New(movedPrefix + forward)
+		}
+		resp, err := peer.Request("worker.query", EncodeQueryRequest(q, []image.ShardID{id}))
+		if err != nil {
+			return core.NewAggregate(), false, err
+		}
+		rep, err := DecodeQueryReply(resp)
+		return rep.Agg, rep.ShardsSearched > 0, err
+	}
+	if store == nil {
+		st.mu.RUnlock()
+		return core.NewAggregate(), false, nil
+	}
+	// Hold the read lock so the queue cannot be drained-and-destroyed
+	// between querying the store and the queue (no double or zero count:
+	// drain swaps happen under the write lock).
+	defer st.mu.RUnlock()
+	agg := store.Query(q)
+	if queue != nil {
+		agg.Merge(queue.Query(q))
+	}
+	return agg, true, nil
+}
+
+func (w *Worker) handleStats(p []byte) ([]byte, error) {
+	return w.Meta().EncodeBytes(), nil
+}
+
+// ShardCounts snapshots the item count of every locally hosted shard.
+func (w *Worker) ShardCounts() map[image.ShardID]uint64 {
+	w.mu.RLock()
+	ids := make([]image.ShardID, 0, len(w.shards))
+	for id := range w.shards {
+		ids = append(ids, id)
+	}
+	w.mu.RUnlock()
+	out := make(map[image.ShardID]uint64, len(ids))
+	for _, id := range ids {
+		st := w.shard(id)
+		if st == nil {
+			continue
+		}
+		st.mu.RLock()
+		if st.store != nil {
+			n := st.store.Count()
+			if st.queue != nil {
+				n += st.queue.Count()
+			}
+			out[id] = n
+		}
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+func (w *Worker) handleShardCounts(p []byte) ([]byte, error) {
+	counts := w.ShardCounts()
+	out := wire.NewWriter(8 + len(counts)*10)
+	out.Uvarint(uint64(len(counts)))
+	for id, n := range counts {
+		out.Uvarint(uint64(id))
+		out.Uvarint(n)
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeShardCounts parses a worker.shardcounts reply.
+func DecodeShardCounts(b []byte) (map[image.ShardID]uint64, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	out := make(map[image.ShardID]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		id := image.ShardID(r.Uvarint())
+		out[id] = r.Uvarint()
+	}
+	return out, r.Err()
+}

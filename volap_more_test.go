@@ -1,0 +1,120 @@
+package volap
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Additional API-surface tests: option defaults, accessors, and error
+// paths not exercised by the scenario tests.
+
+func TestDefaultOptions(t *testing.T) {
+	s := smallSchema(t)
+	o := DefaultOptions(s)
+	if o.Store != StoreHilbertPDC || o.Keys != MDS {
+		t.Errorf("defaults = %v/%v", o.Store, o.Keys)
+	}
+	if err := o.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Workers != 2 || o.Servers != 1 || o.ShardsPerWorker != 4 {
+		t.Errorf("sizing defaults = %d/%d/%d", o.Workers, o.Servers, o.ShardsPerWorker)
+	}
+	if o.SyncInterval != 3*time.Second {
+		t.Errorf("sync default = %v", o.SyncInterval)
+	}
+	if o.Transport != "inproc" || o.Name == "" {
+		t.Errorf("transport defaults = %q %q", o.Transport, o.Name)
+	}
+	if o.BalanceRatio != 1.25 {
+		t.Errorf("ratio default = %f", o.BalanceRatio)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c, err := Start(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if c.ServerAddr(0) == "" || c.ServerAddr(1) == "" {
+		t.Error("server addresses empty")
+	}
+	if _, err := c.ClientTo(-1); err == nil {
+		t.Error("negative server index should fail")
+	}
+	if _, err := c.ClientTo(99); err == nil {
+		t.Error("out-of-range server index should fail")
+	}
+	// Round-robin distributes sessions.
+	a, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Sync() reaches the session's server.
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.BalanceStats()
+	if st.Passes != 0 {
+		t.Errorf("manual-balance cluster ran %d passes", st.Passes)
+	}
+}
+
+func TestConnectFailure(t *testing.T) {
+	if _, err := Connect("inproc://no-such-server", 3); err == nil {
+		t.Error("connecting to a missing server should fail")
+	}
+}
+
+func TestInsertValidationThroughStack(t *testing.T) {
+	c, err := Start(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl, _ := c.Client()
+	defer cl.Close()
+	// Out-of-range coordinates are rejected by the server with a remote
+	// error, not a hang or a panic.
+	if err := cl.Insert(Item{Coords: []uint64{1 << 60, 0}, Measure: 1}); err == nil {
+		t.Error("out-of-range insert should fail")
+	}
+	if err := cl.Insert(Item{Coords: []uint64{1}, Measure: 1}); err == nil {
+		t.Error("wrong-arity insert should fail")
+	}
+	// The cluster still works afterwards.
+	rng := rand.New(rand.NewSource(1))
+	if err := cl.Insert(randItem(rng, c.Schema())); err != nil {
+		t.Fatal(err)
+	}
+	agg, _, err := cl.Query(AllRect(c.Schema()))
+	if err != nil || agg.Count != 1 {
+		t.Fatalf("after bad inserts: %v %v", agg, err)
+	}
+}
+
+func TestAddWorkerAddresses(t *testing.T) {
+	c, err := Start(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	id, err := c.AddWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "w2" {
+		t.Errorf("new worker id = %q", id)
+	}
+	if c.NumWorkers() != 3 {
+		t.Errorf("NumWorkers = %d", c.NumWorkers())
+	}
+}
