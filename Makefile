@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench examples
+
+# The standard gate: everything CI (and the tier-1 verify) runs.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+examples:
+	$(GO) run ./examples/quickstart

@@ -183,17 +183,17 @@ func cluster(b *testing.B) {
 			panic(err)
 		}
 		benchGen = tpcds.NewGenerator(tpcds.Schema(), 42, 1.1)
-		if err := benchClient.BulkLoad(benchGen.Items(20000)); err != nil {
+		if err := benchClient.BulkLoadNoCtx(benchGen.Items(20000)); err != nil {
 			panic(err)
 		}
 		count := func(q volap.Rect) uint64 {
-			agg, _, err := benchClient.Query(q)
+			agg, _, err := benchClient.QueryNoCtx(q)
 			if err != nil {
 				return 0
 			}
 			return agg.Count
 		}
-		total, _, _ := benchClient.Query(volap.AllRect(benchClus.Schema()))
+		total, _, _ := benchClient.QueryNoCtx(volap.AllRect(benchClus.Schema()))
 		benchBins = benchGen.GenerateBinned(count, total.Count, 10, 3000)
 	})
 }
@@ -203,7 +203,7 @@ func BenchmarkFig7ClusterInsert(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := benchClient.Insert(benchGen.Item()); err != nil {
+		if err := benchClient.InsertNoCtx(benchGen.Item()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +219,7 @@ func benchClusterQuery(b *testing.B, band tpcds.Band) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := benchClient.Query(benchBins.Pick(rng, band)); err != nil {
+		if _, _, err := benchClient.QueryNoCtx(benchBins.Pick(rng, band)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,12 +232,12 @@ func BenchmarkFig8Mixed50(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%2 == 0 {
-			if err := benchClient.Insert(benchGen.Item()); err != nil {
+			if err := benchClient.InsertNoCtx(benchGen.Item()); err != nil {
 				b.Fatal(err)
 			}
 		} else {
 			band := tpcds.Band(rng.Intn(3))
-			if _, _, err := benchClient.Query(benchBins.Pick(rng, band)); err != nil {
+			if _, _, err := benchClient.QueryNoCtx(benchBins.Pick(rng, band)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -55,9 +55,9 @@ func main() {
 			}
 			items := gen.Items(m)
 			if *bulk {
-				fatal(cl.BulkLoad(items), "bulk load")
+				fatal(cl.BulkLoadNoCtx(items), "bulk load")
 			} else {
-				fatal(cl.InsertBatch(items), "insert")
+				fatal(cl.InsertBatchNoCtx(items), "insert")
 			}
 		}
 		dur := time.Since(start)
@@ -65,7 +65,7 @@ func main() {
 	case "query":
 		cl, schema := connect(co, *serverAddr)
 		defer cl.Close()
-		agg, info, err := cl.Query(volap.AllRect(schema))
+		agg, info, err := cl.QueryNoCtx(volap.AllRect(schema))
 		fatal(err, "query")
 		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)\n",
 			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted)
@@ -73,10 +73,10 @@ func main() {
 		for i := 0; i < *n; i++ {
 			q := gen.Query()
 			start := time.Now()
-			agg, info, err := cl.Query(q)
+			agg, info, err := cl.QueryNoCtx(q)
 			fatal(err, "query")
 			cov := 0.0
-			if total, _, err := cl.Query(volap.AllRect(schema)); err == nil && total.Count > 0 {
+			if total, _, err := cl.QueryNoCtx(volap.AllRect(schema)); err == nil && total.Count > 0 {
 				cov = float64(agg.Count) / float64(total.Count)
 			}
 			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v\n",
@@ -107,7 +107,7 @@ func connect(co *coord.Client, serverAddr string) (*volap.Client, *volap.Schema)
 		fatal(err, "server meta")
 		addr = meta.Addr
 	}
-	cl, err := volap.Connect(addr, cfg.Schema.NumDims())
+	cl, err := volap.Connect(addr)
 	fatal(err, "connect")
 	return cl, cfg.Schema
 }

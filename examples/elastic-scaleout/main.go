@@ -72,7 +72,7 @@ func main() {
 			if off+n > *perPhase {
 				n = *perPhase - off
 			}
-			if err := client.BulkLoad(gen.Items(n)); err != nil {
+			if err := client.BulkLoadNoCtx(gen.Items(n)); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -80,7 +80,7 @@ func main() {
 		report(cluster, fmt.Sprintf("phase %d loaded %d items", phase, *perPhase))
 
 		// The database remains exact throughout.
-		agg, _, err := client.Query(volap.AllRect(schema))
+		agg, _, err := client.QueryNoCtx(volap.AllRect(schema))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -55,7 +55,7 @@ func main() {
 	// Base data: skewed, so high ordinals remain untouched — the bursts
 	// below will expand bounding boxes into that unseen territory.
 	gen := volap.NewGenerator(schema, 5, 1.1)
-	if err := a.BulkLoad(gen.Items(20000)); err != nil {
+	if err := a.BulkLoadNoCtx(gen.Items(20000)); err != nil {
 		log.Fatal(err)
 	}
 	waitVisible(b, volap.AllRect(schema), 20000)
@@ -63,8 +63,8 @@ func main() {
 
 	// Regime 1: inserts into already-described space — immediate.
 	firstItem := gen.Item()
-	before, _, _ := b.Query(volap.AllRect(schema))
-	if err := a.Insert(firstItem); err != nil {
+	before, _, _ := b.QueryNoCtx(volap.AllRect(schema))
+	if err := a.InsertNoCtx(firstItem); err != nil {
 		log.Fatal(err)
 	}
 	lag := waitVisible(b, volap.AllRect(schema), before.Count+1)
@@ -89,7 +89,7 @@ func main() {
 		region.Ivs[7] = volap.Interval{Lo: ord, Hi: ord}
 
 		t0 := time.Now()
-		if err := a.InsertBatch(items); err != nil {
+		if err := a.InsertBatchNoCtx(items); err != nil {
 			log.Fatal(err)
 		}
 		sameLag := waitVisible(a, region, 50)  // A expanded its own image
@@ -113,7 +113,7 @@ func main() {
 func waitVisible(cl *volap.Client, q volap.Rect, want uint64) time.Duration {
 	start := time.Now()
 	for {
-		agg, _, err := cl.Query(q)
+		agg, _, err := cl.QueryNoCtx(q)
 		if err == nil && agg.Count >= want {
 			return time.Since(start)
 		}

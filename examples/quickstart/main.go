@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	volap "repro"
 )
@@ -60,11 +62,16 @@ func main() {
 		sale(1, 5, 0, 3, 2, 11, 19.99),
 		sale(3, 7, 5, 19, 2, 3, 7.25),
 	}
-	check(client.InsertBatch(items))
+	// Every operation is context-first: cancellable and deadline-bounded.
+	// (The NoCtx variants — client.InsertBatchNoCtx(items) — wrap
+	// context.Background() for one-liners.)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	check(client.InsertBatch(ctx, items))
 	fmt.Printf("inserted %d sales\n", len(items))
 
 	// Query 1: everything.
-	all, info, err := client.Query(volap.AllRect(schema))
+	all, info, err := client.Query(ctx, volap.AllRect(schema))
 	check(err)
 	fmt.Printf("total:            count=%d sum=%.2f avg=%.2f (searched %d shards)\n",
 		all.Count, all.Sum, all.Avg(), info.ShardsSearched)
@@ -75,7 +82,7 @@ func main() {
 	check(err)
 	allProducts, _ := product.NodeInterval(0, nil)
 	allDates, _ := date.NodeInterval(0, nil)
-	agg, _, err := client.Query(volap.NewRect(country0, allProducts, allDates))
+	agg, _, err := client.Query(ctx, volap.NewRect(country0, allProducts, allDates))
 	check(err)
 	fmt.Printf("country 0:        count=%d sum=%.2f\n", agg.Count, agg.Sum)
 
@@ -86,7 +93,7 @@ func main() {
 	check(err)
 	year2, err := date.NodeInterval(1, []uint32{2})
 	check(err)
-	agg, _, err = client.Query(volap.NewRect(allStores, cat0, year2))
+	agg, _, err = client.Query(ctx, volap.NewRect(allStores, cat0, year2))
 	check(err)
 	fmt.Printf("cat 0 in year 2:  count=%d sum=%.2f min=%.2f max=%.2f\n",
 		agg.Count, agg.Sum, agg.Min, agg.Max)

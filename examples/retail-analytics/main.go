@@ -48,7 +48,7 @@ func main() {
 		if off+n > *preload {
 			n = *preload - off
 		}
-		if err := client.BulkLoad(gen.Items(n)); err != nil {
+		if err := client.BulkLoadNoCtx(gen.Items(n)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -58,13 +58,13 @@ func main() {
 
 	// Bin dashboard queries by their true coverage, as §IV does.
 	count := func(q volap.Rect) uint64 {
-		agg, _, err := client.Query(q)
+		agg, _, err := client.QueryNoCtx(q)
 		if err != nil {
 			return 0
 		}
 		return agg.Count
 	}
-	total, _, err := client.Query(volap.AllRect(schema))
+	total, _, err := client.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func main() {
 	for time.Now().Before(deadline) {
 		if rng.Intn(2) == 0 {
 			t0 := time.Now()
-			if err := client.Insert(gen.Item()); err != nil {
+			if err := client.InsertNoCtx(gen.Item()); err != nil {
 				log.Fatal(err)
 			}
 			insNanos += time.Since(t0).Nanoseconds()
@@ -87,7 +87,7 @@ func main() {
 		} else {
 			band := volap.Band(rng.Intn(3))
 			t0 := time.Now()
-			if _, _, err := client.Query(bins.Pick(rng, band)); err != nil {
+			if _, _, err := client.QueryNoCtx(bins.Pick(rng, band)); err != nil {
 				log.Fatal(err)
 			}
 			qryNanos += time.Since(t0).Nanoseconds()
@@ -122,12 +122,12 @@ func dashboard(client *volap.Client, schema *volap.Schema, ins, qry uint64, insN
 	if qry > 0 {
 		qryMs = float64(qryNs) / float64(qry) / 1e6
 	}
-	all, _, err := client.Query(volap.AllRect(schema))
+	all, _, err := client.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		return
 	}
 	// Revenue by store country: a GroupBy roll-up over dimension 0.
-	groups, err := client.GroupBy(volap.AllRect(schema), 0, 0)
+	groups, err := client.GroupByNoCtx(volap.AllRect(schema), 0, 0)
 	if err != nil {
 		return
 	}

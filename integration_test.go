@@ -75,7 +75,7 @@ func TestMultiProcessDeployment(t *testing.T) {
 
 	// Drive the deployment through the public client API.
 	schema := tpcds.Schema()
-	cl, err := volap.Connect(srvAddr, schema.NumDims())
+	cl, err := volap.Connect(srvAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +84,11 @@ func TestMultiProcessDeployment(t *testing.T) {
 	gen := volap.NewGenerator(schema, 3, 1.1)
 	const n = 10000
 	for off := 0; off < n; off += 1000 {
-		if err := cl.InsertBatch(gen.Items(1000)); err != nil {
+		if err := cl.InsertBatchNoCtx(gen.Items(1000)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	agg, info, err := cl.Query(volap.AllRect(schema))
+	agg, info, err := cl.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestMultiProcessDeployment(t *testing.T) {
 	if info.WorkersContacted != 2 {
 		t.Errorf("workers contacted = %d, want 2", info.WorkersContacted)
 	}
-	groups, err := cl.GroupBy(volap.AllRect(schema), 0, 0)
+	groups, err := cl.GroupByNoCtx(volap.AllRect(schema), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,7 +91,7 @@ func Fig10(scale Scale, seed int64) (*Fig10Out, error) {
 	for i := 0; i < bench; i++ {
 		it := gen.Item()
 		t0 := time.Now()
-		if err := cl.Insert(it); err != nil {
+		if err := cl.InsertNoCtx(it); err != nil {
 			return nil, err
 		}
 		h.Record(time.Since(t0))

@@ -131,7 +131,7 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 			if end > len(items) {
 				end = len(items)
 			}
-			if err := cl.BulkLoad(items[off:end]); err != nil {
+			if err := cl.BulkLoadNoCtx(items[off:end]); err != nil {
 				return nil, err
 			}
 		}
@@ -148,7 +148,7 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 		for i := 0; i < cfg.BenchOps; i++ {
 			it := gen.Item()
 			t0 := time.Now()
-			if err := cl.Insert(it); err != nil {
+			if err := cl.InsertNoCtx(it); err != nil {
 				return nil, err
 			}
 			insH.Record(time.Since(t0))
@@ -158,13 +158,13 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 		row.InsertMs = float64(insH.Mean().Microseconds()) / 1000
 
 		count := func(q volap.Rect) uint64 {
-			agg, _, err := cl.Query(q)
+			agg, _, err := cl.QueryNoCtx(q)
 			if err != nil {
 				return 0
 			}
 			return agg.Count
 		}
-		total, _, _ := cl.Query(volap.AllRect(schema))
+		total, _, _ := cl.QueryNoCtx(volap.AllRect(schema))
 		bins := gen.GenerateBinned(count, total.Count, 10, 3000)
 		qOps := cfg.BenchOps / 4
 		for band := tpcds.Low; band <= tpcds.High; band++ {
@@ -173,7 +173,7 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 			for i := 0; i < qOps; i++ {
 				q := bins.Pick(rng, band)
 				t0 := time.Now()
-				if _, _, err := cl.Query(q); err != nil {
+				if _, _, err := cl.QueryNoCtx(q); err != nil {
 					return nil, err
 				}
 				qH.Record(time.Since(t0))

@@ -71,20 +71,20 @@ func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 		if end > cfg.Preload {
 			end = cfg.Preload
 		}
-		if err := cl.BulkLoad(gen.Items(end - off)); err != nil {
+		if err := cl.BulkLoadNoCtx(gen.Items(end - off)); err != nil {
 			return nil, err
 		}
 	}
 	cluster.SyncAll()
 
 	count := func(q volap.Rect) uint64 {
-		agg, _, err := cl.Query(q)
+		agg, _, err := cl.QueryNoCtx(q)
 		if err != nil {
 			return 0
 		}
 		return agg.Count
 	}
-	total, _, _ := cl.Query(volap.AllRect(schema))
+	total, _, _ := cl.QueryNoCtx(volap.AllRect(schema))
 	bins := gen.GenerateBinned(count, total.Count, 10, 3000)
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 9))
@@ -97,14 +97,14 @@ func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 				if rng.Intn(100) < mix {
 					it := gen.Item()
 					t0 := time.Now()
-					if err := cl.Insert(it); err != nil {
+					if err := cl.InsertNoCtx(it); err != nil {
 						return nil, err
 					}
 					insH.Record(time.Since(t0))
 				} else {
 					q := bins.Pick(rng, band)
 					t0 := time.Now()
-					if _, _, err := cl.Query(q); err != nil {
+					if _, _, err := cl.QueryNoCtx(q); err != nil {
 						return nil, err
 					}
 					qryH.Record(time.Since(t0))
@@ -169,7 +169,7 @@ func Fig9(scale Scale, queries int, seed int64) ([]Fig9Point, error) {
 		if end > n {
 			end = n
 		}
-		if err := cl.BulkLoad(gen.Items(end - off)); err != nil {
+		if err := cl.BulkLoadNoCtx(gen.Items(end - off)); err != nil {
 			return nil, err
 		}
 	}
@@ -177,7 +177,7 @@ func Fig9(scale Scale, queries int, seed int64) ([]Fig9Point, error) {
 	time.Sleep(300 * time.Millisecond)
 	cluster.SyncAll()
 
-	total, _, err := cl.Query(volap.AllRect(schema))
+	total, _, err := cl.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func Fig9(scale Scale, queries int, seed int64) ([]Fig9Point, error) {
 	for i := 0; i < queries; i++ {
 		q := gen.Query()
 		t0 := time.Now()
-		agg, info, err := cl.Query(q)
+		agg, info, err := cl.QueryNoCtx(q)
 		if err != nil {
 			return nil, err
 		}

@@ -10,10 +10,12 @@
 package netmsg
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -37,6 +39,11 @@ var ErrClosed = errors.New("netmsg: closed")
 
 // ErrTimeout is returned when a request deadline expires.
 var ErrTimeout = errors.New("netmsg: request timeout")
+
+// ErrConnLost fails requests that were in flight when the connection
+// dropped. The client reconnects automatically on its next request, so
+// callers that can safely re-issue the operation should retry.
+var ErrConnLost = errors.New("netmsg: connection lost")
 
 // RemoteError wraps an error string returned by a remote handler.
 type RemoteError struct {
@@ -235,9 +242,11 @@ func (s *Server) Close() {
 
 // --- client --------------------------------------------------------------
 
-// pendingCall tracks one in-flight request.
+// pendingCall tracks one in-flight request. conn is the connection the
+// request was written to, so a dead connection fails only its own calls.
 type pendingCall struct {
-	ch chan callResult
+	ch   chan callResult
+	conn net.Conn
 }
 
 type callResult struct {
@@ -245,23 +254,81 @@ type callResult struct {
 	err     error
 }
 
+// DialOpts tunes a client connection's deadline and reconnection policy.
+// The zero value means: no default deadline, 5 s per connection attempt,
+// reconnect backoff capped at 250 ms.
+type DialOpts struct {
+	// DefaultTimeout bounds any request whose context carries no deadline
+	// of its own (0 = unbounded, the historical behavior).
+	DefaultTimeout time.Duration
+	// DialTimeout bounds one TCP connection attempt (default 5 s).
+	DialTimeout time.Duration
+	// MaxReconnectDelay caps the exponential backoff between reconnect
+	// attempts (default 250 ms). The first retry starts at 5 ms and each
+	// delay is jittered by ±50% so peers reconnecting together don't
+	// stampede the listener.
+	MaxReconnectDelay time.Duration
+	// MaxDialAttempts bounds how many connection attempts one request
+	// makes before giving up (default 3). Failing fast lets the caller's
+	// routing layer refresh and try a different peer instead of burning
+	// the whole deadline on one dead address.
+	MaxDialAttempts int
+}
+
+func (o *DialOpts) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxReconnectDelay <= 0 {
+		o.MaxReconnectDelay = 250 * time.Millisecond
+	}
+	if o.MaxDialAttempts <= 0 {
+		o.MaxDialAttempts = 3
+	}
+}
+
 // Client is a connection to a Server. It is safe for concurrent use;
-// requests are multiplexed by correlation ID.
+// requests are multiplexed by correlation ID. After a connection failure
+// the next request transparently re-dials with exponential backoff;
+// requests that were in flight when the connection dropped fail with
+// ErrConnLost (the layer above decides whether re-issuing is safe).
 type Client struct {
-	conn    net.Conn
+	addr    string
+	opts    DialOpts
 	writeMu sync.Mutex
 
 	mu      sync.Mutex
+	conn    net.Conn // nil when disconnected
 	pending map[uint64]*pendingCall
 	nextID  uint64
 	closed  bool
 
-	readerDone chan struct{}
+	dialMu sync.Mutex // serializes reconnection attempts
 }
 
-// Dial connects to addr ("inproc://name" or a TCP address).
+// Dial connects to addr ("inproc://name" or a TCP address) with default
+// options.
 func Dial(addr string) (*Client, error) {
-	var conn net.Conn
+	return DialOptions(addr, DialOpts{})
+}
+
+// DialOptions connects to addr with an explicit deadline/reconnect policy.
+func DialOptions(addr string, opts DialOpts) (*Client, error) {
+	opts.fill()
+	cl := &Client{addr: addr, opts: opts, pending: make(map[uint64]*pendingCall)}
+	conn, err := dialConn(addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	cl.conn = conn
+	cl.mu.Unlock()
+	go cl.readLoop(conn)
+	return cl, nil
+}
+
+// dialConn establishes one raw connection.
+func dialConn(addr string, timeout time.Duration) (net.Conn, error) {
 	if name, ok := strings.CutPrefix(addr, "inproc://"); ok {
 		inproc.Lock()
 		l := inproc.listeners[name]
@@ -275,25 +342,91 @@ func Dial(addr string) (*Client, error) {
 		case <-l.closed:
 			return nil, ErrClosed
 		}
-		conn = c1
-	} else {
-		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
-		if err != nil {
-			return nil, err
-		}
-		conn = c
+		return c1, nil
 	}
-	cl := &Client{conn: conn, pending: make(map[uint64]*pendingCall), readerDone: make(chan struct{})}
-	go cl.readLoop()
-	return cl, nil
+	return net.DialTimeout("tcp", addr, timeout)
 }
 
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
+// ensureConn returns a live connection, re-dialing with exponential
+// backoff + jitter until ctx expires. Only one goroutine dials at a time;
+// the rest wait on dialMu and reuse the fresh connection.
+func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn := c.conn; conn != nil {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// A concurrent request may have reconnected while we waited.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn := c.conn; conn != nil {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	delay := 5 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		conn, err := dialConn(c.addr, c.opts.DialTimeout)
+		if err == nil {
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				conn.Close()
+				return nil, ErrClosed
+			}
+			c.conn = conn
+			c.mu.Unlock()
+			go c.readLoop(conn)
+			return conn, nil
+		}
+		if attempt >= c.opts.MaxDialAttempts {
+			return nil, fmt.Errorf("netmsg: dial %s: %w", c.addr, err)
+		}
+		// Jittered exponential backoff, never sleeping past the deadline.
+		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < sleep {
+			return nil, fmt.Errorf("%w: %s unreachable: %v", ErrTimeout, c.addr, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("netmsg: dial %s: %w (last error: %v)", c.addr, ctx.Err(), err)
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > c.opts.MaxReconnectDelay {
+			delay = c.opts.MaxReconnectDelay
+		}
+	}
+}
+
+// dropConn discards a connection observed to be broken so the next
+// request reconnects. In-flight requests on it are failed by its
+// readLoop.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) readLoop(conn net.Conn) {
 	for {
-		corrID, ftype, op, payload, err := readFrame(c.conn)
+		corrID, ftype, op, payload, err := readFrame(conn)
 		if err != nil {
-			c.failAll(io.ErrUnexpectedEOF)
+			c.failConn(conn)
 			return
 		}
 		c.mu.Lock()
@@ -312,23 +445,59 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) failAll(err error) {
+// failConn fails every request in flight on the broken connection and
+// clears it so the next request reconnects.
+func (c *Client) failConn(conn net.Conn) {
+	conn.Close()
 	c.mu.Lock()
 	for id, call := range c.pending {
-		delete(c.pending, id)
-		call.ch <- callResult{err: err}
+		if call.conn == conn {
+			delete(c.pending, id)
+			call.ch <- callResult{err: ErrConnLost}
+		}
 	}
-	c.closed = true
+	if c.conn == conn {
+		c.conn = nil
+	}
 	c.mu.Unlock()
 }
 
-// Request sends op with payload and waits for the response.
+// Request sends op with payload and waits for the response, bounded by
+// the client's default deadline (if configured).
 func (c *Client) Request(op string, payload []byte) ([]byte, error) {
-	return c.RequestTimeout(op, payload, 0)
+	return c.RequestCtx(context.Background(), op, payload)
 }
 
-// RequestTimeout is Request with a deadline (0 means no deadline).
+// RequestTimeout is Request with an explicit deadline (0 falls back to
+// the client default).
 func (c *Client) RequestTimeout(op string, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		return c.RequestCtx(context.Background(), op, payload)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.RequestCtx(ctx, op, payload)
+}
+
+// RequestCtx sends op with payload and waits for the response until ctx
+// is done. A context with no deadline inherits the client's
+// DefaultTimeout. Deadline expiry returns ErrTimeout; cancellation
+// returns ctx.Err(). Either way the pending call is abandoned
+// immediately — a late response is discarded by the read loop.
+func (c *Client) RequestCtx(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	if _, ok := ctx.Deadline(); !ok && c.opts.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.DefaultTimeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	conn, err := c.ensureConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -336,38 +505,42 @@ func (c *Client) RequestTimeout(op string, payload []byte, timeout time.Duration
 	}
 	c.nextID++
 	id := c.nextID
-	call := &pendingCall{ch: make(chan callResult, 1)}
+	call := &pendingCall{ch: make(chan callResult, 1), conn: conn}
 	c.pending[id] = call
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, id, frameRequest, op, payload)
+	err = writeFrame(conn, id, frameRequest, op, payload)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.dropConn(conn)
 		return nil, err
 	}
 
-	var timer <-chan time.Time
-	if timeout > 0 {
-		tm := time.NewTimer(timeout)
-		defer tm.Stop()
-		timer = tm.C
-	}
 	select {
 	case res := <-call.ch:
 		return res.payload, res.err
-	case <-timer:
+	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, ErrTimeout
+		return nil, ctxErr(ctx.Err())
 	}
 }
 
-// Close tears down the connection; in-flight requests fail.
+// ctxErr maps context termination onto the package's error set.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}
+
+// Close tears down the connection; in-flight requests fail and future
+// requests return ErrClosed (no reconnection).
 func (c *Client) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -375,9 +548,16 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.ch <- callResult{err: ErrClosed}
+	}
 	c.mu.Unlock()
-	c.conn.Close()
-	<-c.readerDone
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // --- framing -------------------------------------------------------------

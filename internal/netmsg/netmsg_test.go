@@ -1,6 +1,7 @@
 package netmsg
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"fmt"
@@ -257,5 +258,101 @@ func BenchmarkRequestInproc(b *testing.B) {
 		if _, err := c.Request("echo", payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestRequestCtxCancel checks an in-flight request unblocks as soon as
+// its context is canceled, and the client survives for later requests.
+func TestRequestCtxCancel(t *testing.T) {
+	_, addr := startEcho(t, "inproc://ctx-cancel-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RequestCtx(ctx, "slow", nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("RequestCtx did not unblock on cancel")
+	}
+	// The client is still usable; the late reply is discarded.
+	resp, err := c.RequestTimeout("echo", []byte("after"), time.Second)
+	if err != nil || string(resp) != "after" {
+		t.Fatalf("follow-up request: %q, %v", resp, err)
+	}
+}
+
+// TestRequestCtxDeadline checks a context deadline maps to ErrTimeout.
+func TestRequestCtxDeadline(t *testing.T) {
+	_, addr := startEcho(t, "inproc://ctx-deadline-test")
+	c, _ := Dial(addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.RequestCtx(ctx, "slow", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestReconnectAfterServerRestart checks the client transparently
+// re-dials after its server goes away and comes back on the same
+// address: pending requests fail with ErrConnLost, later requests
+// succeed against the restarted server.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	s1, addr := startEcho(t, "inproc://reconnect-test")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Request("echo", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+
+	s1.Close()
+	// With the server gone, a request fails: the dead connection is
+	// detected and bounded re-dial attempts find nobody listening.
+	if _, err := c.RequestTimeout("echo", nil, 300*time.Millisecond); err == nil {
+		t.Fatal("request against closed server should fail")
+	}
+
+	// Restart on the same name; the next request re-dials and succeeds.
+	_, addr2 := startEcho(t, "inproc://reconnect-test")
+	if addr2 != addr {
+		t.Fatalf("restart bound %q, want %q", addr2, addr)
+	}
+	resp, err := c.RequestTimeout("echo", []byte("two"), time.Second)
+	if err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+	if string(resp) != "two" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestDefaultTimeout checks DialOpts.DefaultTimeout bounds requests
+// whose context carries no deadline.
+func TestDefaultTimeout(t *testing.T) {
+	_, addr := startEcho(t, "inproc://default-timeout-test")
+	c, err := DialOptions(addr, DialOpts{DefaultTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.RequestCtx(context.Background(), "slow", nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Fatalf("default timeout took %v", d)
 	}
 }

@@ -8,8 +8,10 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -23,20 +25,44 @@ import (
 	"repro/internal/worker"
 )
 
+// Typed errors of the request pipeline. They cross the RPC boundary as
+// message text, so keep the strings stable: the client maps them back to
+// the same sentinels (see volap's error mapping).
+var (
+	// ErrUnavailable means the operation exhausted its retry budget:
+	// some shard stayed unreachable across image refreshes. Retry later.
+	ErrUnavailable = errors.New("volap: unavailable")
+	// ErrStaleRoute classifies one failed attempt: the contacted worker
+	// no longer owns the shard. The pipeline refreshes the image and
+	// retries; callers only see it wrapped inside ErrUnavailable.
+	ErrStaleRoute = errors.New("volap: stale route")
+)
+
 // Options configures a server.
 type Options struct {
 	ID           string
 	Coord        coord.Coordinator
 	SyncInterval time.Duration // local-image push rate; paper default 3 s
+
+	// RequestTimeout bounds each client-facing operation end to end,
+	// including all worker RPCs and retries (default 10 s). Operations
+	// whose context already carries a deadline keep it.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a shard group is re-sent after an
+	// image refresh before the operation fails with ErrUnavailable
+	// (default 3).
+	MaxRetries int
 }
 
 // Server is one server node.
 type Server struct {
-	id   string
-	co   coord.Coordinator
-	cfg  *image.ClusterConfig
-	idx  *image.Index
-	sync time.Duration
+	id         string
+	co         coord.Coordinator
+	cfg        *image.ClusterConfig
+	idx        *image.Index
+	sync       time.Duration
+	reqTimeout time.Duration
+	maxRetries int
 
 	srv  *netmsg.Server
 	addr string
@@ -52,10 +78,12 @@ type Server struct {
 	syncWg    sync.WaitGroup
 	closeOnce sync.Once
 
-	// Staleness instrumentation for the freshness study (Figure 10).
-	statMu      sync.Mutex
-	syncPushes  uint64
-	watchEvents uint64
+	// Staleness instrumentation for the freshness study (Figure 10) and
+	// for the retry pipeline.
+	statMu       sync.Mutex
+	syncPushes   uint64
+	watchEvents  uint64
+	staleRetries uint64 // forced image refreshes after stale/transport errors
 }
 
 // New builds a server, loads the global image, and starts watching for
@@ -67,6 +95,12 @@ func New(opts Options) (*Server, error) {
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = 3 * time.Second
 	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
 	raw, _, err := opts.Coord.Get(image.PathConfig)
 	if err != nil {
 		return nil, fmt.Errorf("server: cluster config: %w", err)
@@ -76,15 +110,17 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		id:      opts.ID,
-		co:      opts.Coord,
-		cfg:     cfg,
-		sync:    opts.SyncInterval,
-		idx:     image.NewIndex(cfg.Schema, cfg.Keys, cfg.MDSCap, 8),
-		owners:  make(map[image.ShardID]string),
-		workers: make(map[string]*image.WorkerMeta),
-		conns:   make(map[string]*netmsg.Client),
-		dirty:   make(map[image.ShardID]struct{}),
+		id:         opts.ID,
+		co:         opts.Coord,
+		cfg:        cfg,
+		sync:       opts.SyncInterval,
+		reqTimeout: opts.RequestTimeout,
+		maxRetries: opts.MaxRetries,
+		idx:        image.NewIndex(cfg.Schema, cfg.Keys, cfg.MDSCap, 8),
+		owners:     make(map[image.ShardID]string),
+		workers:    make(map[string]*image.WorkerMeta),
+		conns:      make(map[string]*netmsg.Client),
+		dirty:      make(map[image.ShardID]struct{}),
 	}
 
 	// Bootstrap the local image from a consistent snapshot, then follow
@@ -182,7 +218,7 @@ func (s *Server) workerClient(workerID string) (*netmsg.Client, error) {
 	if c != nil {
 		return c, nil
 	}
-	c, err := netmsg.Dial(meta.Addr)
+	c, err := netmsg.DialOptions(meta.Addr, netmsg.DialOpts{DefaultTimeout: s.reqTimeout})
 	if err != nil {
 		return nil, err
 	}
@@ -197,14 +233,123 @@ func (s *Server) workerClient(workerID string) (*netmsg.Client, error) {
 	return c, nil
 }
 
+// opCtx applies the server's RequestTimeout to operations whose context
+// carries no deadline of its own.
+func (s *Server) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.reqTimeout)
+}
+
+// errClass buckets a worker RPC failure for the retry pipeline.
+type errClass int
+
+const (
+	classFatal     errClass = iota // handler bug, validation, timeout: do not retry
+	classStale                     // shard not where the image says: refresh and retry
+	classTransport                 // connection-level failure: refresh and retry
+)
+
+// classifyWorkerErr decides whether a failed worker RPC is worth an
+// image refresh + retry. Deadline expiry and cancellation are terminal —
+// the whole point of the pipeline is to stay inside the caller's bound.
+func classifyWorkerErr(err error) errClass {
+	switch {
+	case err == nil:
+		return classFatal
+	case errors.Is(err, netmsg.ErrTimeout), errors.Is(err, context.Canceled):
+		return classFatal
+	}
+	var re *netmsg.RemoteError
+	if errors.As(err, &re) {
+		if worker.IsStaleRouteMsg(re.Msg) {
+			return classStale
+		}
+		return classFatal
+	}
+	// Everything else is connection-level: dial failures, ErrConnLost,
+	// ErrClosed, or an unknown-worker route from a pre-refresh image.
+	return classTransport
+}
+
+// refreshShard force-reloads one shard's global record (and its owner's
+// worker record) from the coordination service — the server-side half of
+// §III-E's "servers refresh their image and retry". The watcher would
+// deliver the same update eventually; a failed RPC is evidence we cannot
+// afford to wait.
+func (s *Server) refreshShard(id image.ShardID) {
+	s.statMu.Lock()
+	s.staleRetries++
+	s.statMu.Unlock()
+	raw, _, err := s.co.Get(image.ShardPath(id))
+	if err != nil {
+		return
+	}
+	s.applyNode(image.ShardPath(id), raw)
+	meta, err := image.DecodeShardMetaBytes(raw)
+	if err != nil {
+		return
+	}
+	if wraw, _, err := s.co.Get(image.WorkerPath(meta.Worker)); err == nil {
+		s.applyNode(image.WorkerPath(meta.Worker), wraw)
+	}
+}
+
+// RetryStats returns how many forced image refreshes the retry pipeline
+// performed.
+func (s *Server) RetryStats() (staleRetries uint64) {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.staleRetries
+}
+
+// retryBackoff sleeps a capped, jittered exponential backoff, honoring
+// the context. It returns the doubled delay for the next round.
+func retryBackoff(ctx context.Context, delay time.Duration) (time.Duration, error) {
+	sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+	select {
+	case <-ctx.Done():
+		return delay, ctxErr(ctx.Err())
+	case <-time.After(sleep):
+	}
+	if delay *= 2; delay > 100*time.Millisecond {
+		delay = 100 * time.Millisecond
+	}
+	return delay, nil
+}
+
+// ctxErr maps context termination onto the pipeline's error set.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return netmsg.ErrTimeout
+	}
+	return err
+}
+
 // Insert routes one item to its shard's worker (§III-B: the local image
 // finds the relevant shard and worker address).
-func (s *Server) Insert(it core.Item) error {
-	return s.InsertBatch([]core.Item{it})
+func (s *Server) Insert(ctx context.Context, it core.Item) error {
+	return s.InsertBatch(ctx, []core.Item{it})
 }
 
 // InsertBatch routes a batch, grouping items per shard.
-func (s *Server) InsertBatch(items []core.Item) error {
+func (s *Server) InsertBatch(ctx context.Context, items []core.Item) error {
+	return s.routeAndSend(ctx, items, false)
+}
+
+// BulkLoad routes a large batch using the workers' bulk path.
+func (s *Server) BulkLoad(ctx context.Context, items []core.Item) error {
+	return s.routeAndSend(ctx, items, true)
+}
+
+// routeAndSend groups items per shard through the local image, then fans
+// the groups out to their workers in parallel — the mirror image of the
+// scatter-gather Query path, so a batch spanning N workers costs one
+// round trip, not N (§IV-C).
+func (s *Server) routeAndSend(ctx context.Context, items []core.Item, bulk bool) error {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	groups := make(map[image.ShardID][]core.Item)
 	for _, it := range items {
 		if err := s.cfg.Schema.ValidatePoint(it.Coords); err != nil {
@@ -221,55 +366,67 @@ func (s *Server) InsertBatch(items []core.Item) error {
 		}
 		groups[id] = append(groups[id], it)
 	}
+	errs := make(chan error, len(groups))
+	var wg sync.WaitGroup
 	for id, group := range groups {
-		if err := s.sendInsert(id, group, false); err != nil {
-			return err
-		}
-		s.mu.Lock()
-		s.dirty[id] = struct{}{} // counts changed; sync will refresh size
-		s.mu.Unlock()
+		wg.Add(1)
+		go func(id image.ShardID, group []core.Item) {
+			defer wg.Done()
+			if err := s.sendShardGroup(ctx, id, group, bulk); err != nil {
+				errs <- err
+				return
+			}
+			s.mu.Lock()
+			s.dirty[id] = struct{}{} // counts changed; sync will refresh size
+			s.mu.Unlock()
+		}(id, group)
 	}
-	return nil
+	wg.Wait()
+	close(errs)
+	return <-errs // nil when the channel is empty
 }
 
-// BulkLoad routes a large batch using the workers' bulk path.
-func (s *Server) BulkLoad(items []core.Item) error {
-	groups := make(map[image.ShardID][]core.Item)
-	for _, it := range items {
-		if err := s.cfg.Schema.ValidatePoint(it.Coords); err != nil {
-			return err
-		}
-		id, _, err := s.idx.RouteInsert(it.Coords)
-		if err != nil {
-			return err
-		}
-		groups[id] = append(groups[id], it)
-	}
-	for id, group := range groups {
-		if err := s.sendInsert(id, group, true); err != nil {
-			return err
-		}
-		s.mu.Lock()
-		s.dirty[id] = struct{}{}
-		s.mu.Unlock()
-	}
-	return nil
-}
-
-func (s *Server) sendInsert(id image.ShardID, items []core.Item, bulk bool) error {
-	s.mu.RLock()
-	owner := s.owners[id]
-	s.mu.RUnlock()
-	c, err := s.workerClient(owner)
-	if err != nil {
-		return err
-	}
+// sendShardGroup delivers one shard's items, refreshing the image and
+// retrying with capped backoff when the route turns out to be stale or
+// the worker's connection fails. Bounded attempts; then ErrUnavailable.
+func (s *Server) sendShardGroup(ctx context.Context, id image.ShardID, items []core.Item, bulk bool) error {
 	op := "worker.insert"
 	if bulk {
 		op = "worker.bulkload"
 	}
-	_, err = c.Request(op, worker.EncodeInsertRequest(id, s.cfg.Schema.NumDims(), items))
-	return err
+	payload := worker.EncodeInsertRequest(id, s.cfg.Schema.NumDims(), items)
+	var lastErr error
+	delay := 5 * time.Millisecond
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		if attempt > 0 {
+			s.refreshShard(id)
+			var err error
+			if delay, err = retryBackoff(ctx, delay); err != nil {
+				return err
+			}
+		}
+		s.mu.RLock()
+		owner := s.owners[id]
+		s.mu.RUnlock()
+		c, err := s.workerClient(owner)
+		if err != nil {
+			lastErr = err
+			continue // a refresh may reveal the new owner or address
+		}
+		_, err = c.RequestCtx(ctx, op, payload)
+		if err == nil {
+			return nil
+		}
+		switch classifyWorkerErr(err) {
+		case classStale:
+			lastErr = fmt.Errorf("%w: shard %d: %v", ErrStaleRoute, id, err)
+		case classTransport:
+			lastErr = err
+		default:
+			return ctxErr(err)
+		}
+	}
+	return fmt.Errorf("%w: shard %d after %d attempts: %v", ErrUnavailable, id, s.maxRetries+1, lastErr)
 }
 
 // QueryInfo describes the work a distributed query performed.
@@ -280,57 +437,99 @@ type QueryInfo struct {
 }
 
 // Query scatter-gathers an aggregate query across the workers owning the
-// overlapping shards (§III-B) and merges the partial aggregates.
-func (s *Server) Query(q keys.Rect) (core.Aggregate, QueryInfo, error) {
+// overlapping shards (§III-B) and merges the partial aggregates. Shard
+// groups that fail on a stale route or a dropped connection are re-sent
+// after an image refresh (bounded attempts, capped backoff); only
+// successful partials are merged, so a failed worker can never leak a
+// zero-value reply into the result.
+func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryInfo, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	shards := s.idx.RouteQuery(q)
 	info := QueryInfo{ShardsConsidered: len(shards)}
 	agg := core.NewAggregate()
 	if len(shards) == 0 {
 		return agg, info, nil
 	}
-	byWorker := make(map[string][]image.ShardID)
-	s.mu.RLock()
-	for _, id := range shards {
-		byWorker[s.owners[id]] = append(byWorker[s.owners[id]], id)
-	}
-	s.mu.RUnlock()
-	info.WorkersContacted = len(byWorker)
-
-	type partial struct {
-		rep worker.QueryReply
-		err error
-	}
-	results := make(chan partial, len(byWorker))
-	for workerID, ids := range byWorker {
-		go func(workerID string, ids []image.ShardID) {
-			c, err := s.workerClient(workerID)
-			if err != nil {
-				results <- partial{err: err}
-				return
+	contacted := make(map[string]struct{})
+	remaining := shards
+	var lastErr error
+	delay := 5 * time.Millisecond
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		if attempt > 0 {
+			for _, id := range remaining {
+				s.refreshShard(id)
 			}
-			resp, err := c.Request("worker.query", worker.EncodeQueryRequest(q, ids))
-			if err != nil {
-				results <- partial{err: err}
-				return
+			var err error
+			if delay, err = retryBackoff(ctx, delay); err != nil {
+				info.WorkersContacted = len(contacted)
+				return core.NewAggregate(), info, err
 			}
-			rep, err := worker.DecodeQueryReply(resp)
-			results <- partial{rep: rep, err: err}
-		}(workerID, ids)
-	}
-	var firstErr error
-	for range byWorker {
-		p := <-results
-		if p.err != nil && firstErr == nil {
-			firstErr = p.err
-			continue
 		}
-		agg.Merge(p.rep.Agg)
-		info.ShardsSearched += int(p.rep.ShardsSearched)
+		byWorker := make(map[string][]image.ShardID)
+		s.mu.RLock()
+		for _, id := range remaining {
+			byWorker[s.owners[id]] = append(byWorker[s.owners[id]], id)
+		}
+		s.mu.RUnlock()
+		for w := range byWorker {
+			contacted[w] = struct{}{}
+		}
+
+		type partial struct {
+			ids []image.ShardID
+			rep worker.QueryReply
+			err error
+		}
+		results := make(chan partial, len(byWorker))
+		for workerID, ids := range byWorker {
+			go func(workerID string, ids []image.ShardID) {
+				c, err := s.workerClient(workerID)
+				if err != nil {
+					results <- partial{ids: ids, err: err}
+					return
+				}
+				resp, err := c.RequestCtx(ctx, "worker.query", worker.EncodeQueryRequest(q, ids))
+				if err != nil {
+					results <- partial{ids: ids, err: err}
+					return
+				}
+				rep, err := worker.DecodeQueryReply(resp)
+				results <- partial{ids: ids, rep: rep, err: err}
+			}(workerID, ids)
+		}
+		var failed []image.ShardID
+		var fatal error
+		for range byWorker {
+			p := <-results
+			if p.err != nil {
+				// Never merge an errored partial — its reply is garbage.
+				switch classifyWorkerErr(p.err) {
+				case classStale, classTransport:
+					lastErr = p.err
+					failed = append(failed, p.ids...)
+				default:
+					if fatal == nil {
+						fatal = ctxErr(p.err)
+					}
+				}
+				continue
+			}
+			agg.Merge(p.rep.Agg)
+			info.ShardsSearched += int(p.rep.ShardsSearched)
+		}
+		info.WorkersContacted = len(contacted)
+		if fatal != nil {
+			return core.NewAggregate(), info, fatal
+		}
+		if len(failed) == 0 {
+			return agg, info, nil
+		}
+		remaining = failed
 	}
-	if firstErr != nil {
-		return core.NewAggregate(), info, firstErr
-	}
-	return agg, info, nil
+	info.WorkersContacted = len(contacted)
+	return core.NewAggregate(), info, fmt.Errorf("%w: %d shards unreachable: %v",
+		ErrUnavailable, len(remaining), lastErr)
 }
 
 // GroupBy runs one aggregate per child value of the given dimension and
@@ -338,7 +537,9 @@ func (s *Server) Query(q keys.Rect) (core.Aggregate, QueryInfo, error) {
 // Level l must be a valid level index of the dimension (0-based); the
 // base rectangle's interval in that dimension must cover the grouped
 // values' parent region (typically the All interval).
-func (s *Server) GroupBy(base keys.Rect, dim, level int) ([]GroupResult, error) {
+func (s *Server) GroupBy(ctx context.Context, base keys.Rect, dim, level int) ([]GroupResult, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	if dim < 0 || dim >= s.cfg.Schema.NumDims() {
 		return nil, fmt.Errorf("server: group-by dimension %d out of range", dim)
 	}
@@ -364,7 +565,7 @@ func (s *Server) GroupBy(base keys.Rect, dim, level int) ([]GroupResult, error) 
 		}
 		q := keys.Rect{Ivs: append([]hierarchy.Interval(nil), base.Ivs...)}
 		q.Ivs[dim] = iv
-		agg, _, err := s.Query(q)
+		agg, _, err := s.Query(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -460,6 +661,7 @@ func (s *Server) SyncStats() (pushes, events uint64) {
 // global image.
 func (s *Server) Listen(addr string) (string, error) {
 	srv := netmsg.NewServer()
+	srv.Handle("server.hello", s.handleHello)
 	srv.Handle("server.insert", s.handleInsert)
 	srv.Handle("server.bulkload", s.handleBulkLoad)
 	srv.Handle("server.query", s.handleQuery)
@@ -501,12 +703,40 @@ func (s *Server) Close() {
 
 // --- RPC handlers ----------------------------------------------------------
 
+// Hello is the connection handshake reply: enough schema metadata for a
+// client to encode items without being told the dimension count out of
+// band, plus a config fingerprint to detect schema mismatches.
+type Hello struct {
+	ServerID   string
+	Dims       int
+	ConfigHash uint64
+}
+
+// handleHello serves the server.hello handshake.
+func (s *Server) handleHello(p []byte) ([]byte, error) {
+	w := wire.NewWriter(32)
+	w.String(s.id)
+	w.Uvarint(uint64(s.cfg.Schema.NumDims()))
+	w.Uint64(s.cfg.Schema.Fingerprint())
+	return w.Bytes(), nil
+}
+
+// DecodeHello parses a server.hello reply.
+func DecodeHello(b []byte) (Hello, error) {
+	r := wire.NewReader(b)
+	h := Hello{ServerID: r.String(), Dims: int(r.Uvarint()), ConfigHash: r.Uint64()}
+	if r.Err() != nil {
+		return Hello{}, r.Err()
+	}
+	return h, nil
+}
+
 func (s *Server) handleInsert(p []byte) ([]byte, error) {
 	items, err := decodeItems(p, s.cfg.Schema.NumDims())
 	if err != nil {
 		return nil, err
 	}
-	return nil, s.InsertBatch(items)
+	return nil, s.InsertBatch(context.Background(), items)
 }
 
 func (s *Server) handleBulkLoad(p []byte) ([]byte, error) {
@@ -514,7 +744,7 @@ func (s *Server) handleBulkLoad(p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return nil, s.BulkLoad(items)
+	return nil, s.BulkLoad(context.Background(), items)
 }
 
 func (s *Server) handleQuery(p []byte) ([]byte, error) {
@@ -523,7 +753,7 @@ func (s *Server) handleQuery(p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, info, err := s.Query(q)
+	agg, info, err := s.Query(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -546,7 +776,7 @@ func (s *Server) handleGroupBy(p []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	groups, err := s.GroupBy(q, dim, level)
+	groups, err := s.GroupBy(context.Background(), q, dim, level)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -114,11 +115,11 @@ func TestInsertAndQueryDirect(t *testing.T) {
 	for i := 0; i < 1500; i++ {
 		it := randItem(rng)
 		ref = append(ref, it)
-		if err := s.Insert(it); err != nil {
+		if err := s.Insert(context.Background(), it); err != nil {
 			t.Fatal(err)
 		}
 	}
-	agg, info, err := s.Query(keys.AllRect(h.cfg.Schema))
+	agg, info, err := s.Query(context.Background(), keys.AllRect(h.cfg.Schema))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestInsertAndQueryDirect(t *testing.T) {
 	}
 	// Partial query against brute force.
 	q := keys.NewRect(hierarchy.Interval{Lo: 0, Hi: 49}, hierarchy.Interval{Lo: 0, Hi: 19})
-	agg, _, err = s.Query(q)
+	agg, _, err = s.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestInsertAndQueryDirect(t *testing.T) {
 		t.Fatalf("partial = %d, want %d", agg.Count, want)
 	}
 	// Invalid point is rejected before routing.
-	if err := s.Insert(core.Item{Coords: []uint64{1}}); err == nil {
+	if err := s.Insert(context.Background(), core.Item{Coords: []uint64{1}}); err == nil {
 		t.Error("short point should fail")
 	}
 }
@@ -159,12 +160,12 @@ func TestSyncPropagation(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 300; i++ {
-		if err := a.Insert(randItem(rng)); err != nil {
+		if err := a.Insert(context.Background(), randItem(rng)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Before sync, b's image has empty boxes: queries find nothing.
-	agg, _, err := b.Query(keys.AllRect(h.cfg.Schema))
+	agg, _, err := b.Query(context.Background(), keys.AllRect(h.cfg.Schema))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestSyncPropagation(t *testing.T) {
 	a.SyncNow()
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		agg, _, err := b.Query(keys.AllRect(h.cfg.Schema))
+		agg, _, err := b.Query(context.Background(), keys.AllRect(h.cfg.Schema))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,10 +206,10 @@ func TestConcurrentSyncMerge(t *testing.T) {
 	b := h.server("sb", time.Hour)
 
 	// Server a inserts in one corner, server b in the opposite corner.
-	if err := a.Insert(core.Item{Coords: []uint64{0, 0}, Measure: 1}); err != nil {
+	if err := a.Insert(context.Background(), core.Item{Coords: []uint64{0, 0}, Measure: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Insert(core.Item{Coords: []uint64{99, 39}, Measure: 1}); err != nil {
+	if err := b.Insert(context.Background(), core.Item{Coords: []uint64{99, 39}, Measure: 1}); err != nil {
 		t.Fatal(err)
 	}
 	a.SyncNow()
@@ -326,7 +327,7 @@ func TestWorkerFailure(t *testing.T) {
 	s := h.server("s0", time.Hour)
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {
-		if err := s.Insert(randItem(rng)); err != nil {
+		if err := s.Insert(context.Background(), randItem(rng)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -335,7 +336,7 @@ func TestWorkerFailure(t *testing.T) {
 	// Queries that need the dead worker fail with an error.
 	failed := false
 	for i := 0; i < 20; i++ {
-		if _, _, err := s.Query(keys.AllRect(h.cfg.Schema)); err != nil {
+		if _, _, err := s.Query(context.Background(), keys.AllRect(h.cfg.Schema)); err != nil {
 			failed = true
 			break
 		}
@@ -346,7 +347,7 @@ func TestWorkerFailure(t *testing.T) {
 	// Inserts routed to the dead worker also fail cleanly.
 	sawErr := false
 	for i := 0; i < 50; i++ {
-		if err := s.Insert(randItem(rng)); err != nil {
+		if err := s.Insert(context.Background(), randItem(rng)); err != nil {
 			sawErr = true
 			break
 		}
@@ -363,11 +364,11 @@ func TestGroupByDirect(t *testing.T) {
 	// Insert one item per level-0 value of dimension 0 (fanout 10,
 	// 10 leaves each).
 	for v := uint64(0); v < 10; v++ {
-		if err := s.Insert(core.Item{Coords: []uint64{v * 10, 0}, Measure: float64(v)}); err != nil {
+		if err := s.Insert(context.Background(), core.Item{Coords: []uint64{v * 10, 0}, Measure: float64(v)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	groups, err := s.GroupBy(keys.AllRect(h.cfg.Schema), 0, 0)
+	groups, err := s.GroupBy(context.Background(), keys.AllRect(h.cfg.Schema), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,17 +383,17 @@ func TestGroupByDirect(t *testing.T) {
 	// Restricted base region clips groups.
 	base := keys.AllRect(h.cfg.Schema)
 	base.Ivs[0] = hierarchy.Interval{Lo: 25, Hi: 74} // values 2..7 (clipped)
-	groups, err = s.GroupBy(base, 0, 0)
+	groups, err = s.GroupBy(context.Background(), base, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(groups) != 6 {
 		t.Fatalf("clipped groups = %d", len(groups))
 	}
-	if _, err := s.GroupBy(base, -1, 0); err == nil {
+	if _, err := s.GroupBy(context.Background(), base, -1, 0); err == nil {
 		t.Error("negative dim should fail")
 	}
-	if _, err := s.GroupBy(base, 0, 5); err == nil {
+	if _, err := s.GroupBy(context.Background(), base, 0, 5); err == nil {
 		t.Error("deep level should fail")
 	}
 }
@@ -404,7 +405,7 @@ func TestManagerDrivenSplitVisibleToServer(t *testing.T) {
 	s := h.server("s0", time.Hour)
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 2000; i++ {
-		if err := s.Insert(randItem(rng)); err != nil {
+		if err := s.Insert(context.Background(), randItem(rng)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -426,7 +427,7 @@ func TestManagerDrivenSplitVisibleToServer(t *testing.T) {
 	// The query still returns everything once the image converges.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := s.Query(keys.AllRect(h.cfg.Schema))
+		agg, _, err := s.Query(context.Background(), keys.AllRect(h.cfg.Schema))
 		if err == nil && agg.Count == 2000 {
 			break
 		}

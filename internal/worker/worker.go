@@ -10,6 +10,7 @@ package worker
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,9 +50,26 @@ type Worker struct {
 	closeOnce   sync.Once
 }
 
-// Moved is the error prefix returned when a shard has migrated away and
-// forwarding is impossible; servers refresh their image and retry.
-const movedPrefix = "worker: shard moved to "
+// MovedPrefix is the error prefix returned when a shard has migrated
+// away and forwarding is impossible; servers refresh their image and
+// retry (§III-E).
+const MovedPrefix = "worker: shard moved to "
+
+// unknownShardFrag appears in errors for shards this worker has never
+// hosted — a server whose image is stale relative to a migration or
+// split sees these.
+const unknownShardFrag = "unknown shard"
+
+// peerTimeout bounds forwarding and migration RPCs between workers.
+const peerTimeout = 10 * time.Second
+
+// IsStaleRouteMsg reports whether a worker error message indicates the
+// sender's routing image is stale: the shard moved away, or this worker
+// never hosted it. Servers react by refreshing the shard's global record
+// and retrying.
+func IsStaleRouteMsg(msg string) bool {
+	return strings.Contains(msg, MovedPrefix) || strings.Contains(msg, unknownShardFrag)
+}
 
 // New builds a worker (not yet listening).
 func New(id string, cfg *image.ClusterConfig) *Worker {
@@ -183,12 +201,27 @@ func (w *Worker) peer(addr string) (*netmsg.Client, error) {
 	if c, ok := w.peers[addr]; ok {
 		return c, nil
 	}
-	c, err := netmsg.Dial(addr)
+	c, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: peerTimeout})
 	if err != nil {
 		return nil, err
 	}
 	w.peers[addr] = c
 	return c, nil
+}
+
+// forwardErr maps a failed forwarding RPC onto the moved-error contract:
+// a transport failure reaching the destination means the caller should
+// re-resolve the shard's owner from the global image rather than keep
+// hammering this tombstone. Genuine remote handler errors pass through.
+func forwardErr(err error, dest string) error {
+	if err == nil {
+		return nil
+	}
+	var re *netmsg.RemoteError
+	if errors.As(err, &re) {
+		return err
+	}
+	return errors.New(MovedPrefix + dest)
 }
 
 func (w *Worker) shard(id image.ShardID) *shardState {
@@ -329,10 +362,10 @@ func (w *Worker) Insert(id image.ShardID, items []core.Item) error {
 		st.mu.RUnlock()
 		peer, err := w.peer(dest)
 		if err != nil {
-			return errors.New(movedPrefix + dest)
+			return errors.New(MovedPrefix + dest)
 		}
 		_, err = peer.Request("worker.insert", EncodeInsertRequest(id, w.cfg.Schema.NumDims(), items))
-		return err
+		return forwardErr(err, dest)
 	default:
 		st.mu.RUnlock()
 		return fmt.Errorf("worker %s: shard %d unavailable", w.id, id)
@@ -406,11 +439,11 @@ func (w *Worker) QueryShard(id image.ShardID, q keys.Rect) (core.Aggregate, bool
 		st.mu.RUnlock()
 		peer, err := w.peer(forward)
 		if err != nil {
-			return core.NewAggregate(), false, errors.New(movedPrefix + forward)
+			return core.NewAggregate(), false, errors.New(MovedPrefix + forward)
 		}
 		resp, err := peer.Request("worker.query", EncodeQueryRequest(q, []image.ShardID{id}))
 		if err != nil {
-			return core.NewAggregate(), false, err
+			return core.NewAggregate(), false, forwardErr(err, forward)
 		}
 		rep, err := DecodeQueryReply(resp)
 		return rep.Agg, rep.ShardsSearched > 0, err

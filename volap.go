@@ -17,13 +17,20 @@
 //	cluster, _ := volap.Start(volap.Options{Schema: volap.TPCDSSchema()})
 //	defer cluster.Stop()
 //	client, _ := cluster.Client()
-//	_ = client.Insert(volap.Item{Coords: []uint64{...}, Measure: 9.99})
-//	agg, _, _ := client.Query(volap.AllRect(cluster.Schema()))
+//	_ = client.InsertNoCtx(volap.Item{Coords: []uint64{...}, Measure: 9.99})
+//	agg, _, _ := client.QueryNoCtx(volap.AllRect(cluster.Schema()))
+//
+// Every client operation also has a context-first form (Insert, Query,
+// ...) that supports cancellation and deadlines; the NoCtx variants are
+// thin wrappers over context.Background() bounded by the session's
+// request timeout.
 package volap
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -165,6 +172,15 @@ type Options struct {
 	MinMoveItems uint64
 	// MaxShardItems splits any shard beyond this size (0 disables).
 	MaxShardItems uint64
+
+	// RequestTimeout bounds every RPC end to end — client→server and
+	// server→worker, including retries (default 10 s). A hung worker can
+	// therefore never stall a caller past this deadline.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed shard group is re-sent after
+	// an image refresh before an operation reports ErrUnavailable
+	// (default 3).
+	MaxRetries int
 }
 
 var clusterSeq atomic.Uint64
@@ -175,11 +191,32 @@ func (o *Options) defaults() error {
 	}
 	// The zero values of Store and Keys are the paper's defaults
 	// (Hilbert PDC tree with MDS keys), so nothing to fill in there.
-	if o.Workers <= 0 {
+	if o.Workers < 0 {
+		return fmt.Errorf("volap: Options.Workers = %d must not be negative", o.Workers)
+	}
+	if o.Servers < 0 {
+		return fmt.Errorf("volap: Options.Servers = %d must not be negative", o.Servers)
+	}
+	if o.Servers > 0 && o.Workers == 0 {
+		return errors.New("volap: Options.Servers set without Options.Workers — servers need at least one worker to route to")
+	}
+	if o.RequestTimeout < 0 {
+		return fmt.Errorf("volap: Options.RequestTimeout = %v must not be negative", o.RequestTimeout)
+	}
+	if o.MaxRetries < 0 {
+		return fmt.Errorf("volap: Options.MaxRetries = %d must not be negative", o.MaxRetries)
+	}
+	if o.Workers == 0 {
 		o.Workers = 2
 	}
-	if o.Servers <= 0 {
+	if o.Servers == 0 {
 		o.Servers = 1
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
 	}
 	if o.ShardsPerWorker <= 0 {
 		o.ShardsPerWorker = 4
@@ -262,7 +299,13 @@ func Start(opts Options) (*Cluster, error) {
 	}
 	for i := 0; i < opts.Servers; i++ {
 		id := fmt.Sprintf("s%d", i)
-		srv, err := server.New(server.Options{ID: id, Coord: c.coordinator(), SyncInterval: opts.SyncInterval})
+		srv, err := server.New(server.Options{
+			ID:             id,
+			Coord:          c.coordinator(),
+			SyncInterval:   opts.SyncInterval,
+			RequestTimeout: opts.RequestTimeout,
+			MaxRetries:     opts.MaxRetries,
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -411,7 +454,10 @@ func (c *Cluster) ClientTo(i int) (*Client, error) {
 	if i < 0 || i >= len(c.servers) {
 		return nil, fmt.Errorf("volap: no server %d", i)
 	}
-	return Connect(c.servers[i].Addr(), c.cfg.Schema.NumDims())
+	return ConnectDimsWith(c.servers[i].Addr(), c.cfg.Schema.NumDims(), ClientOptions{
+		RequestTimeout: c.opts.RequestTimeout,
+		MaxRetries:     c.opts.MaxRetries,
+	})
 }
 
 // Stop shuts the whole cluster down. It is idempotent.
@@ -434,42 +480,189 @@ func (c *Cluster) Stop() {
 	c.store.Close()
 }
 
-// Client is a session attached to one server.
-type Client struct {
-	c    *netmsg.Client
-	dims int
+// Typed errors of the client API. Callers distinguish "the system is
+// saturated or converging — retry later" (ErrTimeout, ErrUnavailable)
+// from a genuine bug (anything else). ErrStaleRoute never reaches
+// callers on its own — the pipeline retries it — but it appears wrapped
+// inside ErrUnavailable when retries run out.
+var (
+	// ErrTimeout means the operation's deadline expired before every
+	// involved worker replied.
+	ErrTimeout = netmsg.ErrTimeout
+	// ErrUnavailable means some shard stayed unreachable across image
+	// refreshes and bounded retries.
+	ErrUnavailable = server.ErrUnavailable
+	// ErrStaleRoute classifies one routing miss after a shard migration.
+	ErrStaleRoute = server.ErrStaleRoute
+)
+
+// Defaults of the client/server request policy.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxRetries     = 3
+)
+
+// ClientOptions tunes one client session.
+type ClientOptions struct {
+	// RequestTimeout bounds each operation whose context has no deadline
+	// (default 10 s; negative disables the bound entirely).
+	RequestTimeout time.Duration
+	// MaxRetries re-issues an operation whose connection dropped before
+	// the reply arrived (default 3). Only transport failures are
+	// retried; remote errors and deadline expiry are not.
+	MaxRetries int
 }
 
-// Connect attaches a client session to a server address.
-func Connect(addr string, dims int) (*Client, error) {
-	nc, err := netmsg.Dial(addr)
+func (o *ClientOptions) defaults() {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+}
+
+// Client is a session attached to one server.
+type Client struct {
+	c       *netmsg.Client
+	dims    int
+	hash    uint64 // schema fingerprint from the handshake (0 if skipped)
+	retries int
+}
+
+// Connect attaches a client session to a server address. The schema's
+// dimension count is learned from the server.hello handshake, so the
+// caller needs nothing beyond the address.
+func Connect(addr string) (*Client, error) {
+	return ConnectWith(addr, ClientOptions{})
+}
+
+// ConnectWith is Connect with an explicit request policy.
+func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout})
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: nc, dims: dims}, nil
+	resp, err := nc.Request("server.hello", nil)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("volap: handshake with %s: %w", addr, err)
+	}
+	h, err := server.DecodeHello(resp)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("volap: handshake with %s: %w", addr, err)
+	}
+	return &Client{c: nc, dims: h.Dims, hash: h.ConfigHash, retries: opts.MaxRetries}, nil
+}
+
+// ConnectDims attaches a client session without the handshake round
+// trip, for callers that already know the schema's dimension count.
+func ConnectDims(addr string, dims int) (*Client, error) {
+	return ConnectDimsWith(addr, dims, ClientOptions{})
+}
+
+// ConnectDimsWith is ConnectDims with an explicit request policy.
+func ConnectDimsWith(addr string, dims int, opts ClientOptions) (*Client, error) {
+	opts.defaults()
+	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: nc, dims: dims, retries: opts.MaxRetries}, nil
+}
+
+// Dims returns the schema dimension count the session encodes items
+// with.
+func (cl *Client) Dims() int { return cl.dims }
+
+// ConfigHash returns the schema fingerprint learned from the handshake
+// (0 when the session was opened with ConnectDims).
+func (cl *Client) ConfigHash() uint64 { return cl.hash }
+
+// request issues one RPC, re-dialing and re-issuing on transport
+// failures (the netmsg layer reconnects with backoff; this layer decides
+// the attempt budget) and mapping remote error text back onto the typed
+// error set.
+func (cl *Client) request(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	var resp []byte
+	var err error
+	for attempt := 0; attempt <= cl.retries; attempt++ {
+		resp, err = cl.c.RequestCtx(ctx, op, payload)
+		if err == nil || !isTransient(err) {
+			return resp, mapRemoteError(err)
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+}
+
+// isTransient reports whether re-issuing the request may succeed: the
+// connection dropped before a reply, or reconnecting failed outright.
+// Remote errors, timeouts, and cancellations are final.
+func isTransient(err error) bool {
+	if errors.Is(err, netmsg.ErrConnLost) {
+		return true
+	}
+	if errors.Is(err, netmsg.ErrTimeout) || errors.Is(err, netmsg.ErrClosed) ||
+		errors.Is(err, context.Canceled) {
+		return false
+	}
+	var re *netmsg.RemoteError
+	return !errors.As(err, &re) // dial errors and other transport faults
+}
+
+// mapRemoteError restores the typed error set across the RPC boundary:
+// a server-side ErrTimeout/ErrUnavailable arrives as a RemoteError whose
+// message embeds the sentinel's text.
+func mapRemoteError(err error) error {
+	var re *netmsg.RemoteError
+	if err == nil || !errors.As(err, &re) {
+		return err
+	}
+	sentinels := []error{ErrTimeout, ErrUnavailable, ErrStaleRoute}
+	for _, sentinel := range sentinels {
+		if rest, ok := strings.CutPrefix(re.Msg, sentinel.Error()); ok {
+			if rest = strings.TrimPrefix(rest, ": "); rest == "" {
+				return sentinel
+			}
+			return fmt.Errorf("%w: %s", sentinel, rest)
+		}
+	}
+	for _, sentinel := range sentinels {
+		if strings.Contains(re.Msg, sentinel.Error()) {
+			return fmt.Errorf("%w: %s", sentinel, re.Msg)
+		}
+	}
+	return err
 }
 
 // Insert sends one item.
-func (cl *Client) Insert(it Item) error {
-	return cl.InsertBatch([]Item{it})
+func (cl *Client) Insert(ctx context.Context, it Item) error {
+	return cl.InsertBatch(ctx, []Item{it})
 }
 
 // InsertBatch sends a batch of items in one round trip.
-func (cl *Client) InsertBatch(items []Item) error {
-	_, err := cl.c.Request("server.insert", server.EncodeItems(cl.dims, items))
+func (cl *Client) InsertBatch(ctx context.Context, items []Item) error {
+	_, err := cl.request(ctx, "server.insert", server.EncodeItems(cl.dims, items))
 	return err
 }
 
 // BulkLoad ingests a large batch through the workers' bulk path (§IV-C).
-func (cl *Client) BulkLoad(items []Item) error {
-	_, err := cl.c.Request("server.bulkload", server.EncodeItems(cl.dims, items))
+func (cl *Client) BulkLoad(ctx context.Context, items []Item) error {
+	_, err := cl.request(ctx, "server.bulkload", server.EncodeItems(cl.dims, items))
 	return err
 }
 
 // Query runs an aggregate query.
-func (cl *Client) Query(q Rect) (Aggregate, QueryInfo, error) {
-	w := newRectPayload(q)
-	resp, err := cl.c.Request("server.query", w)
+func (cl *Client) Query(ctx context.Context, q Rect) (Aggregate, QueryInfo, error) {
+	resp, err := cl.request(ctx, "server.query", newRectPayload(q))
 	if err != nil {
 		return core.NewAggregate(), QueryInfo{}, err
 	}
@@ -484,8 +677,8 @@ type GroupResult = server.GroupResult
 // GroupBy runs one aggregate per child value of dimension dim at the
 // given level (0-based) within the base region — the OLAP roll-up
 // primitive. Use AllRect for an unrestricted base.
-func (cl *Client) GroupBy(base Rect, dim, level int) ([]GroupResult, error) {
-	resp, err := cl.c.Request("server.groupby", server.EncodeGroupByRequest(base, dim, level))
+func (cl *Client) GroupBy(ctx context.Context, base Rect, dim, level int) ([]GroupResult, error) {
+	resp, err := cl.request(ctx, "server.groupby", server.EncodeGroupByRequest(base, dim, level))
 	if err != nil {
 		return nil, err
 	}
@@ -493,10 +686,40 @@ func (cl *Client) GroupBy(base Rect, dim, level int) ([]GroupResult, error) {
 }
 
 // Sync asks the session's server to push its local image immediately.
-func (cl *Client) Sync() error {
-	_, err := cl.c.Request("server.sync", nil)
+func (cl *Client) Sync(ctx context.Context) error {
+	_, err := cl.request(ctx, "server.sync", nil)
 	return err
 }
+
+// No-context convenience wrappers: context.Background() bounded by the
+// session's request timeout, so examples and interactive use stay
+// one-liners.
+
+// InsertNoCtx is Insert with context.Background().
+func (cl *Client) InsertNoCtx(it Item) error { return cl.Insert(context.Background(), it) }
+
+// InsertBatchNoCtx is InsertBatch with context.Background().
+func (cl *Client) InsertBatchNoCtx(items []Item) error {
+	return cl.InsertBatch(context.Background(), items)
+}
+
+// BulkLoadNoCtx is BulkLoad with context.Background().
+func (cl *Client) BulkLoadNoCtx(items []Item) error {
+	return cl.BulkLoad(context.Background(), items)
+}
+
+// QueryNoCtx is Query with context.Background().
+func (cl *Client) QueryNoCtx(q Rect) (Aggregate, QueryInfo, error) {
+	return cl.Query(context.Background(), q)
+}
+
+// GroupByNoCtx is GroupBy with context.Background().
+func (cl *Client) GroupByNoCtx(base Rect, dim, level int) ([]GroupResult, error) {
+	return cl.GroupBy(context.Background(), base, dim, level)
+}
+
+// SyncNoCtx is Sync with context.Background().
+func (cl *Client) SyncNoCtx() error { return cl.Sync(context.Background()) }
 
 // Close detaches the session.
 func (cl *Client) Close() { cl.c.Close() }

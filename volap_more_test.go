@@ -59,7 +59,7 @@ func TestClusterAccessors(t *testing.T) {
 	}
 	defer b.Close()
 	// Sync() reaches the session's server.
-	if err := a.Sync(); err != nil {
+	if err := a.SyncNoCtx(); err != nil {
 		t.Fatal(err)
 	}
 	st := c.BalanceStats()
@@ -69,7 +69,7 @@ func TestClusterAccessors(t *testing.T) {
 }
 
 func TestConnectFailure(t *testing.T) {
-	if _, err := Connect("inproc://no-such-server", 3); err == nil {
+	if _, err := Connect("inproc://no-such-server"); err == nil {
 		t.Error("connecting to a missing server should fail")
 	}
 }
@@ -84,18 +84,18 @@ func TestInsertValidationThroughStack(t *testing.T) {
 	defer cl.Close()
 	// Out-of-range coordinates are rejected by the server with a remote
 	// error, not a hang or a panic.
-	if err := cl.Insert(Item{Coords: []uint64{1 << 60, 0}, Measure: 1}); err == nil {
+	if err := cl.InsertNoCtx(Item{Coords: []uint64{1 << 60, 0}, Measure: 1}); err == nil {
 		t.Error("out-of-range insert should fail")
 	}
-	if err := cl.Insert(Item{Coords: []uint64{1}, Measure: 1}); err == nil {
+	if err := cl.InsertNoCtx(Item{Coords: []uint64{1}, Measure: 1}); err == nil {
 		t.Error("wrong-arity insert should fail")
 	}
 	// The cluster still works afterwards.
 	rng := rand.New(rand.NewSource(1))
-	if err := cl.Insert(randItem(rng, c.Schema())); err != nil {
+	if err := cl.InsertNoCtx(randItem(rng, c.Schema())); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.Query(AllRect(c.Schema()))
+	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil || agg.Count != 1 {
 		t.Fatalf("after bad inserts: %v %v", agg, err)
 	}

@@ -110,13 +110,13 @@ func TestInsertQueryMatchesReference(t *testing.T) {
 		ref = append(ref, it)
 		batch = append(batch, it)
 		if len(batch) == 100 {
-			if err := cl.InsertBatch(batch); err != nil {
+			if err := cl.InsertBatchNoCtx(batch); err != nil {
 				t.Fatal(err)
 			}
 			batch = nil
 		}
 	}
-	agg, info, err := cl.Query(AllRect(c.Schema()))
+	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestInsertQueryMatchesReference(t *testing.T) {
 	}
 	for q := 0; q < 30; q++ {
 		rect := randRect(rng, c.Schema())
-		agg, _, err := cl.Query(rect)
+		agg, _, err := cl.QueryNoCtx(rect)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,10 +157,10 @@ func TestBulkLoad(t *testing.T) {
 	for i := range items {
 		items[i] = randItem(rng, c.Schema())
 	}
-	if err := cl.BulkLoad(items); err != nil {
+	if err := cl.BulkLoadNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.Query(AllRect(c.Schema()))
+	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil || agg.Count != 5000 {
 		t.Fatalf("after bulk: %v %v", agg, err)
 	}
@@ -185,18 +185,18 @@ func TestCrossServerFreshness(t *testing.T) {
 	for i := range items {
 		items[i] = randItem(rng, c.Schema())
 	}
-	if err := a.InsertBatch(items); err != nil {
+	if err := a.InsertBatchNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
 	// Same-server session: immediately visible.
-	agg, _, err := a.Query(AllRect(c.Schema()))
+	agg, _, err := a.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil || agg.Count != 500 {
 		t.Fatalf("same-server query = %v %v", agg, err)
 	}
 	// Cross-server session: converges within a few sync intervals.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := b.Query(AllRect(c.Schema()))
+		agg, _, err := b.QueryNoCtx(AllRect(c.Schema()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +228,7 @@ func TestLoadBalancing(t *testing.T) {
 	for i := range items {
 		items[i] = randItem(rng, c.Schema())
 	}
-	if err := cl.BulkLoad(items); err != nil {
+	if err := cl.BulkLoadNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
 
@@ -281,7 +281,7 @@ func TestLoadBalancing(t *testing.T) {
 	// Queries remain exact throughout (forwarding + image updates).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := cl.Query(AllRect(c.Schema()))
+		agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 		if err == nil && agg.Count == 6000 {
 			break
 		}
@@ -311,7 +311,7 @@ func TestDrainWorker(t *testing.T) {
 	for i := range items {
 		items[i] = randItem(rng, c.Schema())
 	}
-	if err := cl.BulkLoad(items); err != nil {
+	if err := cl.BulkLoadNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(60 * time.Millisecond) // let worker stats publish
@@ -340,7 +340,7 @@ func TestDrainWorker(t *testing.T) {
 	// Queries converge to the full count (forwarding + image updates).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := cl.Query(AllRect(c.Schema()))
+		agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 		if err == nil && agg.Count == 5000 {
 			break
 		}
@@ -375,12 +375,12 @@ func TestConcurrentSessions(t *testing.T) {
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < perSession; i++ {
-				if err := cl.Insert(randItem(rng, c.Schema())); err != nil {
+				if err := cl.InsertNoCtx(randItem(rng, c.Schema())); err != nil {
 					t.Error(err)
 					return
 				}
 				if i%50 == 0 {
-					if _, _, err := cl.Query(randRect(rng, c.Schema())); err != nil {
+					if _, _, err := cl.QueryNoCtx(randRect(rng, c.Schema())); err != nil {
 						t.Error(err)
 						return
 					}
@@ -397,7 +397,7 @@ func TestConcurrentSessions(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	want := uint64(sessions * perSession)
 	for {
-		agg, _, err := cl.Query(AllRect(c.Schema()))
+		agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -429,12 +429,12 @@ func TestGroupBy(t *testing.T) {
 		items[i] = randItem(rng, c.Schema())
 		ref = append(ref, items[i])
 	}
-	if err := cl.BulkLoad(items); err != nil {
+	if err := cl.BulkLoadNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
 
 	// Group by level 0 of dimension 0 (10 values).
-	groups, err := cl.GroupBy(AllRect(c.Schema()), 0, 0)
+	groups, err := cl.GroupByNoCtx(AllRect(c.Schema()), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func TestGroupBy(t *testing.T) {
 		t.Fatal(err)
 	}
 	base.Ivs[0] = iv
-	sub, err := cl.GroupBy(base, 0, 1)
+	sub, err := cl.GroupByNoCtx(base, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,10 +488,10 @@ func TestGroupBy(t *testing.T) {
 	}
 
 	// Errors.
-	if _, err := cl.GroupBy(AllRect(c.Schema()), 99, 0); err == nil {
+	if _, err := cl.GroupByNoCtx(AllRect(c.Schema()), 99, 0); err == nil {
 		t.Error("bad dimension should fail")
 	}
-	if _, err := cl.GroupBy(AllRect(c.Schema()), 0, 99); err == nil {
+	if _, err := cl.GroupByNoCtx(AllRect(c.Schema()), 0, 99); err == nil {
 		t.Error("bad level should fail")
 	}
 }
@@ -516,10 +516,10 @@ func TestTCPTransport(t *testing.T) {
 	for i := range items {
 		items[i] = randItem(rng, c.Schema())
 	}
-	if err := cl.InsertBatch(items); err != nil {
+	if err := cl.InsertBatchNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.Query(AllRect(c.Schema()))
+	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil || agg.Count != 800 {
 		t.Fatalf("tcp query = %v %v", agg, err)
 	}
@@ -544,11 +544,11 @@ func TestTPCDSEndToEnd(t *testing.T) {
 
 	gen := tpcds.NewGenerator(TPCDSSchema(), 42, 1.1)
 	items := gen.Items(4000)
-	if err := cl.BulkLoad(items); err != nil {
+	if err := cl.BulkLoadNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
 	count := func(q Rect) uint64 {
-		agg, _, err := cl.Query(q)
+		agg, _, err := cl.QueryNoCtx(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -565,18 +565,18 @@ func TestTPCDSEndToEnd(t *testing.T) {
 	inserted := uint64(0)
 	for i := 0; i < 400; i++ {
 		if i%2 == 0 {
-			if err := cl.Insert(gen.Item()); err != nil {
+			if err := cl.InsertNoCtx(gen.Item()); err != nil {
 				t.Fatal(err)
 			}
 			inserted++
 		} else {
 			band := tpcds.Band(rng.Intn(3))
-			if _, _, err := cl.Query(bins.Pick(rng, band)); err != nil {
+			if _, _, err := cl.QueryNoCtx(bins.Pick(rng, band)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	agg, _, err := cl.Query(AllRect(c.Schema()))
+	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil || agg.Count != 4000+inserted {
 		t.Fatalf("final count = %v %v, want %d", agg, err, 4000+inserted)
 	}
