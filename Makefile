@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race bench examples
+.PHONY: check fmt vet build test race bench examples smoke
 
 # The standard gate: everything CI (and the tier-1 verify) runs.
-check: vet build race
+check: fmt vet build race
+
+# gofmt gate: fails listing any file that needs formatting.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +29,8 @@ bench:
 
 examples:
 	$(GO) run ./examples/quickstart
+
+# Boots a real 1-server/2-worker cluster from the built binaries, drives
+# inserts+queries, and asserts /metrics reports nonzero op counters.
+smoke:
+	./scripts/smoke.sh

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	qpb := flag.Int("queries-per-band", 20, "queries per coverage band (fig4)")
 	phases := flag.Int("phases", 5, "scale-up phases (fig6/fig7)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the bench's /metrics on this address while experiments run (off when empty)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: volap-bench [flags] <fig4|fig5|fig6|fig7|fig8|fig9|fig10|bulk|ablation-keys|ablation-split|ablation-sync|all>\n")
 		flag.PrintDefaults()
@@ -34,6 +36,16 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsAddr != "" {
+		o, err := obs.Serve(*metricsAddr, bench.Metrics(), nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-bench:", err)
+			os.Exit(1)
+		}
+		defer o.Close()
+		fmt.Printf("volap-bench: observability on http://%s/metrics\n", o.Addr())
 	}
 
 	s := bench.Scale(*scale)

@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	"repro/internal/coord"
 	"repro/internal/image"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tpcds"
 )
 
@@ -25,6 +28,7 @@ func main() {
 	initCfg := flag.Bool("init", true, "seed /volap/config with the TPC-DS cluster configuration if absent")
 	leafCap := flag.Int("leaf-capacity", 64, "shard tree leaf capacity")
 	dirCap := flag.Int("dir-capacity", 16, "shard tree directory fan-out")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
 
 	store := coord.NewStore()
@@ -45,6 +49,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("volap-coord: serving global system image on %s\n", bound)
+
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		store.RegisterMetrics(reg)
+		o, err := obs.Serve(*metricsAddr, reg, func() any {
+			nodes, seq := store.Snapshot("/")
+			paths := make([]string, 0, len(nodes))
+			for p := range nodes {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			return map[string]any{"seq": seq, "nodes": paths}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-coord:", err)
+			os.Exit(1)
+		}
+		defer o.Close()
+		fmt.Printf("volap-coord: observability on http://%s/metrics\n", o.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/manager"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 	minMove := flag.Uint64("min-move", 512, "minimum item gap before balancing")
 	maxShard := flag.Uint64("max-shard", 0, "split shards above this many items (0 = off)")
 	verbose := flag.Bool("v", false, "log every pass")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
 
 	co, err := coord.DialClient(*coordAddr)
@@ -44,6 +46,21 @@ func main() {
 	}
 	m.Start()
 	fmt.Printf("volap-manager: balancing every %v (ratio %.2f)\n", *interval, *ratio)
+
+	if *metricsAddr != "" {
+		o, err := obs.Serve(*metricsAddr, m.Metrics(), func() any {
+			return map[string]any{
+				"stats":  m.Stats(),
+				"events": m.Events(),
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-manager:", err)
+			os.Exit(1)
+		}
+		defer o.Close()
+		fmt.Printf("volap-manager: observability on http://%s/metrics\n", o.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -21,6 +22,7 @@ func main() {
 	id := flag.String("id", "", "server ID (required, e.g. s0)")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	sync := flag.Duration("sync", 3*time.Second, "local image synchronization interval")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "volap-server: -id is required")
@@ -46,6 +48,23 @@ func main() {
 	}
 	fmt.Printf("volap-server %s: serving clients on %s (sync every %v, %d shards in image)\n",
 		*id, bound, *sync, s.NumShards())
+
+	if *metricsAddr != "" {
+		o, err := obs.Serve(*metricsAddr, s.Metrics(), func() any {
+			return map[string]any{
+				"id":     s.ID(),
+				"addr":   s.Addr(),
+				"shards": s.NumShards(),
+				"trace":  s.Trace().Events(),
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-server:", err)
+			os.Exit(1)
+		}
+		defer o.Close()
+		fmt.Printf("volap-server %s: observability on http://%s/metrics\n", *id, o.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/keys"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/worker"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	shards := flag.Int("shards", 4, "initial empty shards to create and register")
 	stats := flag.Duration("stats", 500*time.Millisecond, "statistics publication interval")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "volap-worker: -id is required")
@@ -85,6 +87,24 @@ func main() {
 		fmt.Printf("volap-worker %s: created shards %d..%d\n", *id, first, first+image.ShardID(*shards)-1)
 	}
 	fmt.Printf("volap-worker %s: serving on %s\n", *id, bound)
+
+	if *metricsAddr != "" {
+		o, err := obs.Serve(*metricsAddr, w.Metrics(), func() any {
+			return map[string]any{
+				"id":       w.ID(),
+				"addr":     w.Addr(),
+				"shards":   w.ShardCounts(),
+				"op_stats": w.OpStats(),
+				"trace":    w.Trace().Events(),
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-worker:", err)
+			os.Exit(1)
+		}
+		defer o.Close()
+		fmt.Printf("volap-worker %s: observability on http://%s/metrics\n", *id, o.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/tpcds"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	n := fs.Int("n", 1000, "operation count")
 	seed := fs.Int64("seed", time.Now().UnixNano(), "workload seed")
 	bulk := fs.Bool("bulk", false, "use the bulk ingestion path")
+	metricsAddr := fs.String("metrics-addr", "", "serve the session's /metrics on this address (off when empty)")
 	_ = fs.Parse(args)
 
 	co, err := coord.DialClient(*coordAddr)
@@ -45,6 +47,7 @@ func main() {
 	case "insert":
 		cl, schema := connect(co, *serverAddr)
 		defer cl.Close()
+		defer serveObs(*metricsAddr, cl)()
 		gen := tpcds.NewGenerator(schema, *seed, 1.1)
 		start := time.Now()
 		batch := 500
@@ -65,6 +68,7 @@ func main() {
 	case "query":
 		cl, schema := connect(co, *serverAddr)
 		defer cl.Close()
+		defer serveObs(*metricsAddr, cl)()
 		agg, info, err := cl.QueryNoCtx(volap.AllRect(schema))
 		fatal(err, "query")
 		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)\n",
@@ -152,6 +156,18 @@ func status(co *coord.Client) {
 			fmt.Printf("  shard %-5d worker=%-6s count=%-10d box=%v\n", m.ID, m.Worker, m.Count, m.Key)
 		}
 	}
+}
+
+// serveObs exposes the client session's transport metrics over HTTP when
+// -metrics-addr is set; the returned func stops the listener.
+func serveObs(addr string, cl *volap.Client) func() {
+	if addr == "" {
+		return func() {}
+	}
+	o, err := obs.Serve(addr, cl.Metrics(), nil)
+	fatal(err, "metrics")
+	fmt.Printf("observability on http://%s/metrics\n", o.Addr())
+	return o.Close
 }
 
 func fatal(err error, what string) {

@@ -59,7 +59,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			report(cluster, fmt.Sprintf("phase %d balance pass %d (%d ops)", phase, pass, ops))
+			report(client, fmt.Sprintf("phase %d balance pass %d (%d ops)", phase, pass, ops))
 			if ops == 0 {
 				break
 			}
@@ -77,7 +77,7 @@ func main() {
 			}
 		}
 		expected += uint64(*perPhase)
-		report(cluster, fmt.Sprintf("phase %d loaded %d items", phase, *perPhase))
+		report(client, fmt.Sprintf("phase %d loaded %d items", phase, *perPhase))
 
 		// The database remains exact throughout.
 		agg, _, err := client.QueryNoCtx(volap.AllRect(schema))
@@ -95,23 +95,25 @@ func main() {
 		cluster.NumWorkers(), expected, st.Splits, st.Migrations, st.MovedItems)
 }
 
-// report prints the per-worker load band like Figure 6's red region.
-func report(cluster *volap.Cluster, label string) {
-	names, loads, err := cluster.WorkerLoads()
+// report prints the per-worker load band like Figure 6's red region,
+// using the public ClusterStats API — the same numbers an operator would
+// scrape, not the cluster's internals.
+func report(client *volap.Client, label string) {
+	cs, err := client.ClusterStatsNoCtx()
 	if err != nil {
 		return
 	}
 	var lo, hi, total uint64
 	lo = ^uint64(0)
-	for _, n := range loads {
-		total += n
-		if n < lo {
-			lo = n
+	for _, ws := range cs.Workers {
+		total += ws.Items
+		if ws.Items < lo {
+			lo = ws.Items
 		}
-		if n > hi {
-			hi = n
+		if ws.Items > hi {
+			hi = ws.Items
 		}
 	}
 	fmt.Printf("%-42s workers=%d items=%-8d min/worker=%-8d max/worker=%-8d\n",
-		label, len(names), total, lo, hi)
+		label, len(cs.Workers), total, lo, hi)
 }

@@ -7,10 +7,16 @@ package volap_test
 // EC2 deployment topology.
 
 import (
+	"context"
+	"encoding/json"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,6 +54,9 @@ func TestMultiProcessDeployment(t *testing.T) {
 	w0Addr := freePort(t)
 	w1Addr := freePort(t)
 	srvAddr := freePort(t)
+	w0Obs := freePort(t)
+	w1Obs := freePort(t)
+	srvObs := freePort(t)
 
 	spawn := func(name string, args ...string) *exec.Cmd {
 		cmd := exec.Command(filepath.Join(bin, name), args...)
@@ -65,11 +74,11 @@ func TestMultiProcessDeployment(t *testing.T) {
 
 	spawn("volap-coord", "-listen", coordAddr)
 	waitDial(t, coordAddr)
-	spawn("volap-worker", "-coord", coordAddr, "-id", "w0", "-listen", w0Addr, "-shards", "4")
-	spawn("volap-worker", "-coord", coordAddr, "-id", "w1", "-listen", w1Addr, "-shards", "4")
+	spawn("volap-worker", "-coord", coordAddr, "-id", "w0", "-listen", w0Addr, "-shards", "4", "-metrics-addr", w0Obs)
+	spawn("volap-worker", "-coord", coordAddr, "-id", "w1", "-listen", w1Addr, "-shards", "4", "-metrics-addr", w1Obs)
 	waitDial(t, w0Addr)
 	waitDial(t, w1Addr)
-	spawn("volap-server", "-coord", coordAddr, "-id", "s0", "-listen", srvAddr, "-sync", "300ms")
+	spawn("volap-server", "-coord", coordAddr, "-id", "s0", "-listen", srvAddr, "-sync", "300ms", "-metrics-addr", srvObs)
 	spawn("volap-manager", "-coord", coordAddr, "-interval", "300ms")
 	waitDial(t, srvAddr)
 
@@ -98,6 +107,54 @@ func TestMultiProcessDeployment(t *testing.T) {
 	if info.WorkersContacted != 2 {
 		t.Errorf("workers contacted = %d, want 2", info.WorkersContacted)
 	}
+
+	// A traced query: the same trace ID must surface in the trace-event
+	// buffers of all three processes (server and both workers), read
+	// back over their /debug/volap endpoints.
+	ctx, traceID := volap.WithTrace(context.Background())
+	if _, _, err := cl.Query(ctx, volap.AllRect(schema)); err != nil {
+		t.Fatal(err)
+	}
+	for _, obsAddr := range []string{srvObs, w0Obs, w1Obs} {
+		if !debugHasTrace(t, obsAddr, traceID) {
+			t.Errorf("process at %s has no trace %d in its /debug/volap buffer", obsAddr, traceID)
+		}
+	}
+
+	// Every process serves parseable Prometheus text with nonzero op
+	// counters after the traffic above.
+	for addr, counter := range map[string]string{
+		srvObs: "server_routes_total",
+		w0Obs:  "worker_insert_seconds_count",
+		w1Obs:  "worker_insert_seconds_count",
+	} {
+		if v := scrapeTotal(t, addr, counter); v == 0 {
+			t.Errorf("process at %s: %s = 0, want nonzero", addr, counter)
+		}
+	}
+
+	// The public cluster-stats API sees both workers and conserves the
+	// item total (polled: a migration may be mid-flight).
+	statsDeadline := time.Now().Add(10 * time.Second)
+	for {
+		cs, err := cl.ClusterStatsNoCtx()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var itemsTotal uint64
+		for _, ws := range cs.Workers {
+			itemsTotal += ws.Items
+		}
+		if len(cs.Workers) == 2 && itemsTotal == n {
+			break
+		}
+		if time.Now().After(statsDeadline) {
+			t.Fatalf("cluster stats never converged: %d workers, %d items (want 2, %d)",
+				len(cs.Workers), itemsTotal, n)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
 	groups, err := cl.GroupByNoCtx(volap.AllRect(schema), 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +193,68 @@ func TestMultiProcessDeployment(t *testing.T) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// debugHasTrace reads a process's /debug/volap endpoint and reports
+// whether its trace-event buffer contains the given trace ID.
+func debugHasTrace(t *testing.T, addr string, traceID uint64) bool {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/debug/volap")
+	if err != nil {
+		t.Fatalf("GET %s/debug/volap: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	var state struct {
+		Trace []struct {
+			TraceID uint64 `json:"trace_id"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatalf("decoding %s/debug/volap: %v", addr, err)
+	}
+	for _, ev := range state.Trace {
+		if ev.TraceID == traceID {
+			return true
+		}
+	}
+	return false
+}
+
+// scrapeTotal fetches a process's /metrics endpoint, checks every sample
+// line parses as Prometheus text, and returns the summed value of the
+// named metric across its label sets.
+func scrapeTotal(t *testing.T, addr, name string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET %s/metrics: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Fatalf("unparseable metrics line from %s: %q", addr, line)
+		}
+		series, val := line[:cut], line[cut+1:]
+		if val != "+Inf" && val != "NaN" {
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				t.Fatalf("unparseable metrics value from %s: %q", addr, line)
+			}
+			if series == name || strings.HasPrefix(series, name+"{") {
+				total += v
+			}
+		}
+	}
+	return total
 }
 
 func waitDial(t *testing.T, addr string) {

@@ -24,6 +24,23 @@ import (
 	"repro/internal/tpcds"
 )
 
+// reg collects every driver's latency histograms in one place so
+// cmd/volap-bench can serve them live over -metrics-addr while an
+// experiment runs.
+var reg = metrics.NewRegistry()
+
+// Metrics returns the bench package's registry.
+func Metrics() *metrics.Registry { return reg }
+
+// benchHist returns the named bench histogram, reset for a fresh
+// measurement leg. The registry is get-or-create, so successive legs
+// reuse (and clear) the same series instead of leaking one per leg.
+func benchHist(name string) *metrics.Histogram {
+	h := reg.Histogram(name).With()
+	h.Reset()
+	return h
+}
+
 // Scale multiplies the default workload sizes of every driver.
 type Scale float64
 
@@ -60,7 +77,7 @@ func timeQueries(st core.Store, qs []keys.Rect) time.Duration {
 	if len(qs) == 0 {
 		return 0
 	}
-	h := metrics.NewHistogram()
+	h := benchHist("bench_store_query_seconds")
 	for _, q := range qs {
 		start := time.Now()
 		st.Query(q)

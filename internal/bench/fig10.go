@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/image"
 	"repro/internal/keys"
-	"repro/internal/metrics"
 	"repro/internal/pbs"
 	"repro/internal/tpcds"
 )
@@ -85,7 +84,7 @@ func Fig10(scale Scale, seed int64) (*Fig10Out, error) {
 		return nil, err
 	}
 	defer cl.Close()
-	h := metrics.NewHistogram()
+	h := benchHist("bench_fig10_insert_seconds")
 	bench := scale.N(4000)
 	start := time.Now()
 	for i := 0; i < bench; i++ {

@@ -8,7 +8,6 @@ import (
 
 	volap "repro"
 
-	"repro/internal/metrics"
 	"repro/internal/tpcds"
 )
 
@@ -143,7 +142,7 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 			PreMin: preMin, PreMax: preMax,
 			ElapsedS: time.Since(start).Seconds(),
 		}
-		insH := metrics.NewHistogram()
+		insH := benchHist("bench_scaleup_insert_seconds")
 		insStart := time.Now()
 		for i := 0; i < cfg.BenchOps; i++ {
 			it := gen.Item()
@@ -168,7 +167,7 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 		bins := gen.GenerateBinned(count, total.Count, 10, 3000)
 		qOps := cfg.BenchOps / 4
 		for band := tpcds.Low; band <= tpcds.High; band++ {
-			qH := metrics.NewHistogram()
+			qH := benchHist("bench_scaleup_query_seconds")
 			qStart := time.Now()
 			for i := 0; i < qOps; i++ {
 				q := bins.Pick(rng, band)

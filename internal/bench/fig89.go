@@ -8,7 +8,6 @@ import (
 
 	volap "repro"
 
-	"repro/internal/metrics"
 	"repro/internal/tpcds"
 )
 
@@ -91,7 +90,7 @@ func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 	var rows []Fig8Row
 	for _, mix := range []int{0, 25, 50, 75, 100} {
 		for band := tpcds.Low; band <= tpcds.High; band++ {
-			insH, qryH := metrics.NewHistogram(), metrics.NewHistogram()
+			insH, qryH := benchHist("bench_fig8_insert_seconds"), benchHist("bench_fig8_query_seconds")
 			start := time.Now()
 			for op := 0; op < cfg.StreamOp; op++ {
 				if rng.Intn(100) < mix {

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -34,7 +35,7 @@ var (
 // its bound address.
 func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 	srv := netmsg.NewServer()
-	srv.Handle("coord.create", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.create", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path, data := r.String(), r.Bytes1()
 		if r.Err() != nil {
@@ -43,7 +44,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		v, err := s.Create(path, data)
 		return versionReply(v), err
 	})
-	srv.Handle("coord.set", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.set", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path, data, expected := r.String(), r.Bytes1(), r.Varint()
 		if r.Err() != nil {
@@ -52,7 +53,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		v, err := s.Set(path, data, expected)
 		return versionReply(v), err
 	})
-	srv.Handle("coord.createorset", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.createorset", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path, data := r.String(), r.Bytes1()
 		if r.Err() != nil {
@@ -61,7 +62,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		v, err := s.CreateOrSet(path, data)
 		return versionReply(v), err
 	})
-	srv.Handle("coord.get", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.get", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path := r.String()
 		if r.Err() != nil {
@@ -76,7 +77,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		w.Bytes1(data)
 		return w.Bytes(), nil
 	})
-	srv.Handle("coord.exists", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.exists", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path := r.String()
 		if r.Err() != nil {
@@ -86,7 +87,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		w.Bool(s.Exists(path))
 		return w.Bytes(), nil
 	})
-	srv.Handle("coord.children", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.children", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path := r.String()
 		if r.Err() != nil {
@@ -103,7 +104,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		}
 		return w.Bytes(), nil
 	})
-	srv.Handle("coord.delete", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.delete", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		path, expected := r.String(), r.Varint()
 		if r.Err() != nil {
@@ -111,7 +112,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		}
 		return nil, s.Delete(path, expected)
 	})
-	srv.Handle("coord.snapshot", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.snapshot", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		prefix := r.String()
 		if r.Err() != nil {
@@ -127,7 +128,7 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		}
 		return w.Bytes(), nil
 	})
-	srv.Handle("coord.events", func(p []byte) ([]byte, error) {
+	srv.Handle("coord.events", func(_ context.Context, p []byte) ([]byte, error) {
 		r := wire.NewReader(p)
 		since := r.Uint64()
 		prefix := r.String()

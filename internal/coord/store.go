@@ -12,6 +12,7 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"repro/internal/metrics"
 	"sort"
 	"strings"
 	"sync"
@@ -86,6 +87,10 @@ type Store struct {
 	first  uint64 // sequence number of events[0]
 	closed bool
 	change *sync.Cond
+
+	// observability counters (under mu)
+	watchFires      uint64 // EventsSince calls that delivered events
+	eventsDelivered uint64 // total events handed to watchers
 }
 
 // NewStore returns an empty store.
@@ -332,6 +337,8 @@ func (s *Store) EventsSince(since uint64, prefix string, limit int, timeout time
 			}
 		}
 		if len(out) > 0 {
+			s.watchFires++
+			s.eventsDelivered += uint64(len(out))
 			return out, cursor, nil
 		}
 		since = cursor // skip non-matching events permanently
@@ -340,6 +347,34 @@ func (s *Store) EventsSince(since uint64, prefix string, limit int, timeout time
 		}
 		s.change.Wait()
 	}
+}
+
+// WatchStats returns observability counters: watch deliveries (fires),
+// events delivered, total events logged, and live node count.
+func (s *Store) WatchStats() (fires, delivered, logged, nodes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watchFires, s.eventsDelivered, s.seq, uint64(len(s.nodes))
+}
+
+// RegisterMetrics exports the store's counters into a registry.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("coord_watch_fires_total", func() uint64 {
+		f, _, _, _ := s.WatchStats()
+		return f
+	})
+	reg.CounterFunc("coord_events_delivered_total", func() uint64 {
+		_, d, _, _ := s.WatchStats()
+		return d
+	})
+	reg.CounterFunc("coord_events_logged_total", func() uint64 {
+		_, _, l, _ := s.WatchStats()
+		return l
+	})
+	reg.GaugeFunc("coord_nodes", func() float64 {
+		_, _, _, n := s.WatchStats()
+		return float64(n)
+	})
 }
 
 // matchesPrefix reports whether path is prefix itself or below it.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/image"
+	"repro/internal/metrics"
 	"repro/internal/netmsg"
 	"repro/internal/wire"
 	"repro/internal/worker"
@@ -37,6 +38,9 @@ type Options struct {
 	// MaxShardItems splits any shard that grows beyond this many items,
 	// regardless of balance (0 disables; memory-pressure guard).
 	MaxShardItems uint64
+	// Metrics receives the manager's instrumentation. When nil the
+	// manager creates a private registry (reachable via Metrics()).
+	Metrics *metrics.Registry
 }
 
 // Stats counts the manager's balancing activity (Figure 6 reports these
@@ -48,13 +52,40 @@ type Stats struct {
 	MovedItems uint64
 }
 
+// EventKind classifies one load-balancing action.
+type EventKind string
+
+// Load-balancing event kinds.
+const (
+	EventSplit     EventKind = "split"
+	EventMigration EventKind = "migration"
+)
+
+// Event is one recorded split or migration, kept in a bounded log so the
+// /debug/volap endpoint can show recent balancing activity.
+type Event struct {
+	Time     time.Time     `json:"time"`
+	Kind     EventKind     `json:"kind"`
+	Shard    image.ShardID `json:"shard"`
+	NewShard image.ShardID `json:"new_shard,omitempty"` // splits only
+	From     string        `json:"from,omitempty"`
+	To       string        `json:"to,omitempty"` // migrations only
+	Items    uint64        `json:"items"`
+}
+
+// maxEvents bounds the in-memory balancing event log.
+const maxEvents = 128
+
 // Manager is the load-balancing process.
 type Manager struct {
 	opts Options
 
-	mu    sync.Mutex
-	conns map[string]*netmsg.Client
-	stats Stats
+	mu     sync.Mutex
+	conns  map[string]*netmsg.Client
+	stats  Stats
+	events []Event // ring, newest last
+
+	reg *metrics.Registry
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -78,7 +109,37 @@ func New(opts Options) (*Manager, error) {
 	if opts.MaxOpsPerPass <= 0 {
 		opts.MaxOpsPerPass = 4
 	}
-	return &Manager{opts: opts, conns: make(map[string]*netmsg.Client), stop: make(chan struct{})}, nil
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := &Manager{opts: opts, conns: make(map[string]*netmsg.Client), stop: make(chan struct{}), reg: reg}
+	reg.CounterFunc("manager_passes_total", func() uint64 { return m.Stats().Passes })
+	reg.CounterFunc("manager_splits_total", func() uint64 { return m.Stats().Splits })
+	reg.CounterFunc("manager_migrations_total", func() uint64 { return m.Stats().Migrations })
+	reg.CounterFunc("manager_moved_items_total", func() uint64 { return m.Stats().MovedItems })
+	return m, nil
+}
+
+// Metrics returns the manager's registry (opts.Metrics or a private one).
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+// Events returns the recent balancing events, oldest first.
+func (m *Manager) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// recordEvent appends to the bounded event log; callers hold m.mu.
+func (m *Manager) recordEvent(ev Event) {
+	ev.Time = time.Now()
+	m.events = append(m.events, ev)
+	if len(m.events) > maxEvents {
+		m.events = append(m.events[:0:0], m.events[len(m.events)-maxEvents:]...)
+	}
 }
 
 // Start launches the background balancing loop.
@@ -320,6 +381,7 @@ func (m *Manager) splitShard(v *workerView, id image.ShardID) error {
 	}
 	m.mu.Lock()
 	m.stats.Splits++
+	m.recordEvent(Event{Kind: EventSplit, Shard: id, NewShard: newID, From: v.meta.ID, Items: res.RightCount})
 	m.mu.Unlock()
 	return nil
 }
@@ -347,6 +409,7 @@ func (m *Manager) migrateShard(donor, recipient *workerView, id image.ShardID) e
 	m.mu.Lock()
 	m.stats.Migrations++
 	m.stats.MovedItems += moved
+	m.recordEvent(Event{Kind: EventMigration, Shard: id, From: donor.meta.ID, To: recipient.meta.ID, Items: moved})
 	m.mu.Unlock()
 	return nil
 }

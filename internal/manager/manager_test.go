@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -86,7 +87,7 @@ func (h *harness) addShard(workerID string, n int, rng *rand.Rand) image.ShardID
 		items[i] = core.Item{Coords: []uint64{uint64(rng.Intn(100)), uint64(rng.Intn(40))}, Measure: 1}
 	}
 	if n > 0 {
-		if err := w.Insert(id, items); err != nil {
+		if err := w.Insert(context.Background(), id, items); err != nil {
 			h.t.Fatal(err)
 		}
 	}

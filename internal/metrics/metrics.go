@@ -1,6 +1,20 @@
-// Package metrics provides the lightweight instrumentation used by
-// VOLAP's benchmark harness and examples: lock-free throughput counters
-// and logarithmic latency histograms with percentile extraction.
+// Package metrics is VOLAP's instrumentation layer: a process-local
+// Registry of named, label-supporting counters, gauges and latency
+// histograms, a structured Snapshot export consumed by both the
+// Prometheus text encoder and the bench harness, and a bounded trace
+// event log used to correlate one client operation across processes.
+//
+// Metrics are created through a Registry (see registry.go):
+//
+//	reg := metrics.NewRegistry()
+//	retries := reg.Counter("server_retries_total", "op")
+//	retries.Inc("insert")
+//	lat := reg.Histogram("server_op_seconds", "op")
+//	lat.Observe(time.Since(start), "query")
+//
+// The underlying Counter/Gauge/Histogram series types in this file are
+// lock-free (counters/gauges) or mutex-guarded (histograms) and safe for
+// concurrent use.
 package metrics
 
 import (
@@ -13,14 +27,15 @@ import (
 )
 
 // Counter is a monotonically increasing event counter with rate
-// computation.
+// computation. Counters are obtained from a Registry via
+// Registry.Counter(name, labels...).With(values...).
 type Counter struct {
 	n     atomic.Uint64
 	start atomic.Int64 // unix nanos of first Reset/creation
 }
 
-// NewCounter returns a running counter.
-func NewCounter() *Counter {
+// newCounter returns a running counter.
+func newCounter() *Counter {
 	c := &Counter{}
 	c.start.Store(time.Now().UnixNano())
 	return c
@@ -28,6 +43,9 @@ func NewCounter() *Counter {
 
 // Add increments by n.
 func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Count returns the total.
 func (c *Counter) Count() uint64 { return c.n.Load() }
@@ -47,19 +65,47 @@ func (c *Counter) Reset() {
 	c.start.Store(time.Now().UnixNano())
 }
 
+// Gauge is an instantaneous float value (queue depth, item count).
+// Gauges are obtained from a Registry via Registry.Gauge.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Add adjusts the gauge by delta (positive or negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the bucket count: logarithmic buckets from 1µs to
+// 2^30µs (~17.9 min), everything larger clamped into the last bucket.
+const histBuckets = 31
+
 // Histogram records durations in logarithmic buckets from 1µs to ~17min
 // (2^30 µs), supporting concurrent recording and percentile queries.
+// Histograms are obtained from a Registry via Registry.Histogram.
 type Histogram struct {
 	mu      sync.Mutex
-	buckets [31]uint64
+	buckets [histBuckets]uint64
 	count   uint64
 	sum     time.Duration
 	min     time.Duration
 	max     time.Duration
 }
 
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram {
+// newHistogram returns an empty histogram.
+func newHistogram() *Histogram {
 	return &Histogram{min: time.Duration(math.MaxInt64)}
 }
 
@@ -71,8 +117,8 @@ func bucketOf(d time.Duration) int {
 		return 0
 	}
 	b := bits.Len64(uint64(us - 1)) // ceil(log2(us))
-	if b > 30 {
-		return 30
+	if b > histBuckets-1 {
+		return histBuckets - 1
 	}
 	return b
 }
@@ -129,33 +175,22 @@ func (h *Histogram) Max() time.Duration {
 // Percentile returns an upper bound on the p-th percentile (p in [0,1]),
 // at bucket resolution (a factor of 2).
 func (h *Histogram) Percentile(p float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	target := uint64(math.Ceil(p * float64(h.count)))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for b, n := range h.buckets {
-		cum += n
-		if cum >= target {
-			return time.Duration(1<<uint(b)) * time.Microsecond
-		}
-	}
-	return h.max
+	return h.Data().Percentile(p)
 }
 
-// Snapshot renders a one-line summary.
-func (h *Histogram) Snapshot() string {
+// Data snapshots the histogram's raw state for export and merging.
+func (h *Histogram) Data() HistData {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := HistData{Count: h.count, Sum: h.sum, Max: h.max, Buckets: h.buckets}
+	if h.count > 0 {
+		d.Min = h.min
+	}
+	return d
+}
+
+// Summary renders a one-line text digest.
+func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
 		h.Count(), h.Mean(), h.Percentile(0.5), h.Percentile(0.99), h.Max())
 }
@@ -164,16 +199,78 @@ func (h *Histogram) Snapshot() string {
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.buckets = [31]uint64{}
+	h.buckets = [histBuckets]uint64{}
 	h.count = 0
 	h.sum = 0
 	h.min = time.Duration(math.MaxInt64)
 	h.max = 0
 }
 
-// Timer measures one operation: defer NewHistogram-style usage via
-// h.Time()().
+// Timer measures one operation: defer h.Time()().
 func (h *Histogram) Time() func() {
 	start := time.Now()
 	return func() { h.Record(time.Since(start)) }
+}
+
+// HistData is an immutable histogram snapshot: the exchange format
+// between histograms, the Prometheus encoder, and cross-process latency
+// summaries.
+type HistData struct {
+	Count   uint64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [histBuckets]uint64
+}
+
+// Merge folds another snapshot into this one.
+func (d *HistData) Merge(o HistData) {
+	if o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+	for i := range d.Buckets {
+		d.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average duration of the snapshot.
+func (d HistData) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / time.Duration(d.Count)
+}
+
+// Percentile returns an upper bound on the p-th percentile (p in [0,1])
+// at bucket resolution.
+func (d HistData) Percentile(p float64) time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(d.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, n := range d.Buckets {
+		cum += n
+		if cum >= target {
+			return time.Duration(1<<uint(b)) * time.Microsecond
+		}
+	}
+	return d.Max
 }

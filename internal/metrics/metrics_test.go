@@ -1,13 +1,23 @@
 package metrics
 
 import (
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 )
 
+func testCounter() *Counter {
+	return NewRegistry().Counter("test_total").With()
+}
+
+func testHistogram() *Histogram {
+	return NewRegistry().Histogram("test_seconds").With()
+}
+
 func TestCounter(t *testing.T) {
-	c := NewCounter()
+	c := testCounter()
 	c.Add(5)
 	c.Add(3)
 	if c.Count() != 8 {
@@ -23,7 +33,7 @@ func TestCounter(t *testing.T) {
 }
 
 func TestCounterConcurrent(t *testing.T) {
-	c := NewCounter()
+	c := testCounter()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -62,7 +72,7 @@ func TestBucketOf(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram()
+	h := testHistogram()
 	if h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Min() != 0 {
 		t.Error("empty histogram should be zero-valued")
 	}
@@ -91,8 +101,8 @@ func TestHistogram(t *testing.T) {
 	if h.Percentile(-1) != h.Percentile(0) || h.Percentile(2) != h.Percentile(1) {
 		t.Error("percentile clamping wrong")
 	}
-	if h.Snapshot() == "" {
-		t.Error("Snapshot empty")
+	if h.Summary() == "" {
+		t.Error("Summary empty")
 	}
 	h.Reset()
 	if h.Count() != 0 || h.Max() != 0 {
@@ -100,30 +110,196 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramEmptyPercentile pins the empty-histogram contract: every
+// percentile of zero observations is zero, not a bucket bound.
+func TestHistogramEmptyPercentile(t *testing.T) {
+	h := testHistogram()
+	for _, p := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	var d HistData
+	if d.Percentile(0.5) != 0 || d.Mean() != 0 {
+		t.Error("empty HistData should be zero-valued")
+	}
+}
+
+// TestHistogramClamp pins the overflow bucket: observations beyond 2^30µs
+// (~17.9 min) land in the last bucket, percentiles report at most that
+// bucket's bound, and Min/Max keep the true extremes.
+func TestHistogramClamp(t *testing.T) {
+	h := testHistogram()
+	h.Record(2 * time.Hour)
+	h.Record(3 * time.Hour)
+	if h.Max() != 3*time.Hour {
+		t.Errorf("Max = %v, want 3h", h.Max())
+	}
+	bound := BucketUpperBound(histBuckets - 1)
+	if p := h.Percentile(0.5); p != bound {
+		t.Errorf("Percentile(0.5) = %v, want clamp bound %v", p, bound)
+	}
+	d := h.Data()
+	if d.Buckets[histBuckets-1] != 2 {
+		t.Errorf("clamp bucket holds %d, want 2", d.Buckets[histBuckets-1])
+	}
+	if d.Min != 2*time.Hour {
+		t.Errorf("Min = %v, want 2h", d.Min)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
-	h := NewHistogram()
+	h := testHistogram()
 	var wg sync.WaitGroup
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 500; j++ {
 				h.Record(time.Duration(j+1) * time.Microsecond)
+				_ = h.Percentile(0.5) // concurrent reads race-check the lock
 			}
 		}()
 	}
 	wg.Wait()
-	if h.Count() != 2000 {
+	if h.Count() != 4000 {
 		t.Fatalf("Count = %d", h.Count())
 	}
 }
 
 func TestTimer(t *testing.T) {
-	h := NewHistogram()
+	h := testHistogram()
 	done := h.Time()
 	time.Sleep(2 * time.Millisecond)
 	done()
 	if h.Count() != 1 || h.Max() < 2*time.Millisecond {
 		t.Errorf("timer recorded %v", h.Max())
+	}
+}
+
+func TestHistDataMerge(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("op_seconds", "shard")
+	v.Observe(time.Millisecond, "1")
+	v.Observe(4*time.Millisecond, "2")
+	v.Observe(16*time.Millisecond, "2")
+	m := v.Merged()
+	if m.Count != 3 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if m.Min != time.Millisecond || m.Max != 16*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", m.Min, m.Max)
+	}
+	if m.Sum != 21*time.Millisecond {
+		t.Errorf("merged sum = %v", m.Sum)
+	}
+}
+
+func TestRegistryVectors(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "op")
+	c.Inc("insert")
+	c.Add(2, "query")
+	c.Inc("query")
+	if got := c.With("query").Count(); got != 3 {
+		t.Errorf("query counter = %d", got)
+	}
+	if r.Counter("requests_total", "op") != c {
+		t.Error("re-registration should return the same vector")
+	}
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.With().Value(); got != 3 {
+		t.Errorf("gauge = %v", got)
+	}
+	r.CounterFunc("derived_total", func() uint64 { return 42 })
+	r.GaugeFunc("derived_gauge", func() float64 { return 1.5 })
+
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot families = %d", len(snap))
+	}
+	if snap[0].Name != "requests_total" || snap[0].Type != TypeCounter || len(snap[0].Series) != 2 {
+		t.Errorf("family 0: %+v", snap[0])
+	}
+	if snap[2].Series[0].Value != 42 {
+		t.Errorf("CounterFunc exported %v", snap[2].Series[0].Value)
+	}
+}
+
+func TestRegistryMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	expectPanic(t, "type mismatch", func() { r.Gauge("x_total") })
+	expectPanic(t, "label mismatch", func() { r.Counter("x_total", "op") })
+	expectPanic(t, "value arity", func() { r.Counter("y_total", "op").Inc() })
+}
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([-+0-9.eE]+|\+Inf|NaN)$`)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total", "op").Add(7, "insert")
+	r.Gauge("shard_items", "shard").Set(123, "4")
+	r.Histogram("op_seconds", "op").Observe(3*time.Millisecond, "query")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{op="insert"} 7`,
+		`shard_items{shard="4"} 123`,
+		"# TYPE op_seconds histogram",
+		`op_seconds_bucket{op="query",le="+Inf"} 1`,
+		`op_seconds_count{op="query"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestTraceLog(t *testing.T) {
+	l := NewTraceLog(4)
+	if l.Has(1) {
+		t.Error("empty log Has(1)")
+	}
+	for i := uint64(1); i <= 6; i++ {
+		l.Add(i, "server/s0", "op", "")
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].TraceID != 3 || evs[3].TraceID != 6 {
+		t.Errorf("ring order wrong: %v..%v", evs[0].TraceID, evs[3].TraceID)
+	}
+	if l.Has(1) || !l.Has(5) {
+		t.Error("Has after wrap wrong")
+	}
+	if got := l.For(5); len(got) != 1 || got[0].Component != "server/s0" {
+		t.Errorf("For(5) = %v", got)
 	}
 }

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Histograms are exported with cumulative
+// le-buckets in seconds plus _sum and _count, so any Prometheus scraper
+// or promtool can consume a VOLAP /metrics endpoint directly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f Family, s Series) error {
+	if f.Type != TypeHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(s.Value))
+		return err
+	}
+	d := s.Hist
+	var cum uint64
+	for b, n := range d.Buckets {
+		cum += n
+		if n == 0 && b != len(d.Buckets)-1 {
+			continue // sparse export: skip interior empty buckets
+		}
+		le := formatFloat(float64(uint64(1)<<uint(b)) * 1e-6)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.Name, labelString(f.Labels, s.LabelValues, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.Name, labelString(f.Labels, s.LabelValues, "le", "+Inf"), d.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.Name, labelString(f.Labels, s.LabelValues, "", ""), formatFloat(d.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		f.Name, labelString(f.Labels, s.LabelValues, "", ""), d.Count)
+	return err
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le label). Empty label sets render as "".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// BucketUpperBound returns the duration upper bound of histogram bucket
+// b, mirroring the le values of the Prometheus export.
+func BucketUpperBound(b int) time.Duration {
+	if b < 0 {
+		b = 0
+	}
+	if b > histBuckets-1 {
+		b = histBuckets - 1
+	}
+	return time.Duration(uint64(1)<<uint(b)) * time.Microsecond
+}

@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricType classifies a metric family for export.
+type MetricType uint8
+
+// Metric family types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String names the type in Prometheus vocabulary.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Registry is a process-local metric namespace. Constructors are
+// get-or-create: calling Counter("x", "op") twice returns the same
+// vector, so independent components can share one registry without
+// coordinating. All methods are safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	colls map[string]collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{colls: make(map[string]collector)}
+}
+
+// collector is one named metric family that can snapshot itself.
+type collector interface {
+	snapshot() Family
+}
+
+// Family is one named metric family in a Snapshot.
+type Family struct {
+	Name   string
+	Type   MetricType
+	Labels []string // label names, in declaration order
+	Series []Series
+}
+
+// Series is one labeled time series of a family.
+type Series struct {
+	LabelValues []string
+	Value       float64   // counters and gauges
+	Hist        *HistData // histograms only
+}
+
+// register installs a family under name, or returns the existing one.
+func (r *Registry) register(name string, labels []string, mk func() collector) collector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.colls[name]; ok {
+		return c
+	}
+	c := mk()
+	r.colls[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Counter returns the counter vector registered under name, creating it
+// with the given label names if absent.
+func (r *Registry) Counter(name string, labels ...string) *CounterVec {
+	c := r.register(name, labels, func() collector {
+		return &CounterVec{vec: newVec(name, TypeCounter, labels)}
+	})
+	v, ok := c.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %s", name, c.snapshot().Type))
+	}
+	v.vec.checkLabels(labels)
+	return v
+}
+
+// Gauge returns the gauge vector registered under name, creating it with
+// the given label names if absent.
+func (r *Registry) Gauge(name string, labels ...string) *GaugeVec {
+	c := r.register(name, labels, func() collector {
+		return &GaugeVec{vec: newVec(name, TypeGauge, labels)}
+	})
+	v, ok := c.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %s", name, c.snapshot().Type))
+	}
+	v.vec.checkLabels(labels)
+	return v
+}
+
+// Histogram returns the histogram vector registered under name, creating
+// it with the given label names if absent.
+func (r *Registry) Histogram(name string, labels ...string) *HistogramVec {
+	c := r.register(name, labels, func() collector {
+		return &HistogramVec{vec: newVec(name, TypeHistogram, labels)}
+	})
+	v, ok := c.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %s", name, c.snapshot().Type))
+	}
+	v.vec.checkLabels(labels)
+	return v
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// snapshot time — for exporting counters a component already maintains.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.register(name, nil, func() collector {
+		return funcFamily{name: name, typ: TypeCounter, fn: func() float64 { return float64(fn()) }}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.register(name, nil, func() collector {
+		return funcFamily{name: name, typ: TypeGauge, fn: fn}
+	})
+}
+
+// Snapshot exports every family in registration order. It is the single
+// source for the Prometheus encoder, the JSON debug endpoint, and the
+// bench harness.
+func (r *Registry) Snapshot() []Family {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	colls := make([]collector, len(names))
+	for i, n := range names {
+		colls[i] = r.colls[n]
+	}
+	r.mu.Unlock()
+	out := make([]Family, 0, len(colls))
+	for _, c := range colls {
+		out = append(out, c.snapshot())
+	}
+	return out
+}
+
+// funcFamily exports one unlabeled callback-backed series.
+type funcFamily struct {
+	name string
+	typ  MetricType
+	fn   func() float64
+}
+
+func (f funcFamily) snapshot() Family {
+	return Family{Name: f.name, Type: f.typ, Series: []Series{{Value: f.fn()}}}
+}
+
+// vec is the shared series table behind every vector type.
+type vec struct {
+	name   string
+	typ    MetricType
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]any
+	keys   []string   // series keys in creation order
+	vals   [][]string // label values per key, same order
+}
+
+func newVec(name string, typ MetricType, labels []string) *vec {
+	return &vec{name: name, typ: typ, labels: labels, series: make(map[string]any)}
+}
+
+// checkLabels guards against re-registering a family with different
+// label names — a programming error that would corrupt the export.
+func (v *vec) checkLabels(labels []string) {
+	if len(labels) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %q re-registered with %d labels, had %d", v.name, len(labels), len(v.labels)))
+	}
+	for i := range labels {
+		if labels[i] != v.labels[i] {
+			panic(fmt.Sprintf("metrics: %q re-registered with label %q, had %q", v.name, labels[i], v.labels[i]))
+		}
+	}
+}
+
+// with returns the series for the label values, creating via mk.
+func (v *vec) with(values []string, mk func() any) any {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %q takes %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.series[key]; ok {
+		return s
+	}
+	s := mk()
+	v.series[key] = s
+	v.keys = append(v.keys, key)
+	v.vals = append(v.vals, append([]string(nil), values...))
+	return s
+}
+
+// each visits every series in a stable (sorted-by-label) order.
+func (v *vec) each(fn func(values []string, s any)) {
+	v.mu.Lock()
+	keys := append([]string(nil), v.keys...)
+	vals := append([][]string(nil), v.vals...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = v.series[k]
+	}
+	v.mu.Unlock()
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	for _, i := range idx {
+		fn(vals[i], series[i])
+	}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ vec *vec }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (c *CounterVec) With(values ...string) *Counter {
+	return c.vec.with(values, func() any { return newCounter() }).(*Counter)
+}
+
+// Add increments the labeled counter by n.
+func (c *CounterVec) Add(n uint64, values ...string) { c.With(values...).Add(n) }
+
+// Inc increments the labeled counter by one.
+func (c *CounterVec) Inc(values ...string) { c.With(values...).Inc() }
+
+func (c *CounterVec) snapshot() Family {
+	f := Family{Name: c.vec.name, Type: TypeCounter, Labels: c.vec.labels}
+	c.vec.each(func(values []string, s any) {
+		f.Series = append(f.Series, Series{LabelValues: values, Value: float64(s.(*Counter).Count())})
+	})
+	return f
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ vec *vec }
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (g *GaugeVec) With(values ...string) *Gauge {
+	return g.vec.with(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Set sets the labeled gauge.
+func (g *GaugeVec) Set(x float64, values ...string) { g.With(values...).Set(x) }
+
+// Add adjusts the labeled gauge by delta.
+func (g *GaugeVec) Add(delta float64, values ...string) { g.With(values...).Add(delta) }
+
+func (g *GaugeVec) snapshot() Family {
+	f := Family{Name: g.vec.name, Type: TypeGauge, Labels: g.vec.labels}
+	g.vec.each(func(values []string, s any) {
+		f.Series = append(f.Series, Series{LabelValues: values, Value: s.(*Gauge).Value()})
+	})
+	return f
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ vec *vec }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (h *HistogramVec) With(values ...string) *Histogram {
+	return h.vec.with(values, func() any { return newHistogram() }).(*Histogram)
+}
+
+// Observe records one duration in the labeled histogram.
+func (h *HistogramVec) Observe(d time.Duration, values ...string) { h.With(values...).Record(d) }
+
+// Merged folds every series of the family into one snapshot — the
+// cross-label latency summary (e.g. all shards of a worker).
+func (h *HistogramVec) Merged() HistData {
+	var out HistData
+	h.vec.each(func(_ []string, s any) {
+		out.Merge(s.(*Histogram).Data())
+	})
+	return out
+}
+
+func (h *HistogramVec) snapshot() Family {
+	f := Family{Name: h.vec.name, Type: TypeHistogram, Labels: h.vec.labels}
+	h.vec.each(func(values []string, s any) {
+		d := s.(*Histogram).Data()
+		f.Series = append(f.Series, Series{LabelValues: values, Hist: &d})
+	})
+	return f
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEvent is one hop of a traced operation: which component saw which
+// op under which trace ID. A single client operation produces one event
+// per process it crosses (client's server, every worker contacted, and
+// any peer a worker forwarded to), all sharing the trace ID minted at
+// the client.
+type TraceEvent struct {
+	Time      time.Time `json:"time"`
+	TraceID   uint64    `json:"trace_id"`
+	Component string    `json:"component"` // e.g. "server/s0", "worker/w1"
+	Op        string    `json:"op"`        // e.g. "server.query"
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// TraceLog is a bounded ring of recent trace events, one per process
+// component. It is safe for concurrent use; when full, the oldest events
+// are overwritten.
+type TraceLog struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next int  // write position
+	full bool // buf has wrapped
+}
+
+// DefaultTraceCap is the default ring capacity.
+const DefaultTraceCap = 256
+
+// NewTraceLog returns a ring holding up to capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceLog{buf: make([]TraceEvent, capacity)}
+}
+
+// Add appends one event. A zero trace ID is recorded as-is (untraced
+// internal activity).
+func (l *TraceLog) Add(traceID uint64, component, op, detail string) {
+	ev := TraceEvent{Time: time.Now(), TraceID: traceID, Component: component, Op: op, Detail: detail}
+	l.mu.Lock()
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (l *TraceLog) Events() []TraceEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]TraceEvent(nil), l.buf[:l.next]...)
+	}
+	out := make([]TraceEvent, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	return append(out, l.buf[:l.next]...)
+}
+
+// For returns the retained events carrying the given trace ID, oldest
+// first.
+func (l *TraceLog) For(traceID uint64) []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range l.Events() {
+		if ev.TraceID == traceID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Has reports whether any retained event carries the trace ID.
+func (l *TraceLog) Has(traceID uint64) bool {
+	for _, ev := range l.Events() {
+		if ev.TraceID == traceID {
+			return true
+		}
+	}
+	return false
+}

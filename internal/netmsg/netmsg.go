@@ -11,6 +11,7 @@ package netmsg
 
 import (
 	"context"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // MaxFrame bounds a single message (64 MiB) to catch corrupt length
@@ -56,8 +59,51 @@ func (e *RemoteError) Error() string {
 }
 
 // Handler processes one request payload and returns the response payload.
-// Handlers run concurrently.
-type Handler func(payload []byte) ([]byte, error)
+// Handlers run concurrently. The context carries the request's trace ID
+// (TraceIDFrom) and should be propagated into any downstream RPCs so one
+// client operation stays correlatable across hops.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
+
+// --- trace IDs -----------------------------------------------------------
+
+// traceKey is the context key for the request-scoped trace ID.
+type traceKey struct{}
+
+// NewTraceID mints a random nonzero 64-bit trace ID.
+func NewTraceID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := crand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; fall back to
+			// the time-seeded source rather than panic in a hot path.
+			return uint64(rand.Int63()) | 1
+		}
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+// WithTraceID returns ctx carrying the trace ID. A zero ID clears it.
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from ctx (0 when untraced).
+func TraceIDFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceKey{}).(uint64)
+	return id
+}
+
+// EnsureTraceID returns ctx guaranteed to carry a nonzero trace ID,
+// minting one if absent, along with the ID.
+func EnsureTraceID(ctx context.Context) (context.Context, uint64) {
+	if id := TraceIDFrom(ctx); id != 0 {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTraceID(ctx, id), id
+}
 
 // --- inproc registry -----------------------------------------------------
 
@@ -193,7 +239,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	for {
-		corrID, ftype, op, payload, err := readFrame(conn)
+		corrID, traceID, ftype, op, payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
@@ -206,20 +252,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			ctx := context.Background()
+			if traceID != 0 {
+				ctx = WithTraceID(ctx, traceID)
+			}
 			var resp []byte
 			var herr error
 			if h == nil {
 				herr = fmt.Errorf("unknown operation %q", op)
 			} else {
-				resp, herr = h(payload)
+				resp, herr = h(ctx, payload)
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if herr != nil {
-				_ = writeFrame(conn, corrID, frameError, op, []byte(herr.Error()))
+				_ = writeFrame(conn, corrID, traceID, frameError, op, []byte(herr.Error()))
 				return
 			}
-			_ = writeFrame(conn, corrID, frameResponse, "", resp)
+			_ = writeFrame(conn, corrID, traceID, frameResponse, "", resp)
 		}()
 	}
 }
@@ -273,6 +323,11 @@ type DialOpts struct {
 	// routing layer refresh and try a different peer instead of burning
 	// the whole deadline on one dead address.
 	MaxDialAttempts int
+	// Metrics, when non-nil, receives per-op request latency
+	// (netmsg_request_seconds{op}), reconnect counts
+	// (netmsg_reconnects_total) and dial failures
+	// (netmsg_dial_failures_total) for this client.
+	Metrics *metrics.Registry
 }
 
 func (o *DialOpts) fill() {
@@ -304,6 +359,11 @@ type Client struct {
 	closed  bool
 
 	dialMu sync.Mutex // serializes reconnection attempts
+
+	// instrumentation (nil when opts.Metrics is nil)
+	reqLatency   *metrics.HistogramVec
+	reconnects   *metrics.Counter
+	dialFailures *metrics.Counter
 }
 
 // Dial connects to addr ("inproc://name" or a TCP address) with default
@@ -316,8 +376,16 @@ func Dial(addr string) (*Client, error) {
 func DialOptions(addr string, opts DialOpts) (*Client, error) {
 	opts.fill()
 	cl := &Client{addr: addr, opts: opts, pending: make(map[uint64]*pendingCall)}
+	if reg := opts.Metrics; reg != nil {
+		cl.reqLatency = reg.Histogram("netmsg_request_seconds", "op")
+		cl.reconnects = reg.Counter("netmsg_reconnects_total").With()
+		cl.dialFailures = reg.Counter("netmsg_dial_failures_total").With()
+	}
 	conn, err := dialConn(addr, opts.DialTimeout)
 	if err != nil {
+		if cl.dialFailures != nil {
+			cl.dialFailures.Inc()
+		}
 		return nil, err
 	}
 	cl.mu.Lock()
@@ -388,8 +456,14 @@ func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
 			}
 			c.conn = conn
 			c.mu.Unlock()
+			if c.reconnects != nil {
+				c.reconnects.Inc()
+			}
 			go c.readLoop(conn)
 			return conn, nil
+		}
+		if c.dialFailures != nil {
+			c.dialFailures.Inc()
 		}
 		if attempt >= c.opts.MaxDialAttempts {
 			return nil, fmt.Errorf("netmsg: dial %s: %w", c.addr, err)
@@ -424,7 +498,7 @@ func (c *Client) dropConn(conn net.Conn) {
 
 func (c *Client) readLoop(conn net.Conn) {
 	for {
-		corrID, ftype, op, payload, err := readFrame(conn)
+		corrID, _, ftype, op, payload, err := readFrame(conn)
 		if err != nil {
 			c.failConn(conn)
 			return
@@ -483,8 +557,13 @@ func (c *Client) RequestTimeout(op string, payload []byte, timeout time.Duration
 // is done. A context with no deadline inherits the client's
 // DefaultTimeout. Deadline expiry returns ErrTimeout; cancellation
 // returns ctx.Err(). Either way the pending call is abandoned
-// immediately — a late response is discarded by the read loop.
+// immediately — a late response is discarded by the read loop. A trace
+// ID on ctx (WithTraceID) travels in the frame header and surfaces in
+// the remote handler's context.
 func (c *Client) RequestCtx(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	if c.reqLatency != nil {
+		defer c.reqLatency.With(op).Time()()
+	}
 	if _, ok := ctx.Deadline(); !ok && c.opts.DefaultTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.DefaultTimeout)
@@ -510,7 +589,7 @@ func (c *Client) RequestCtx(ctx context.Context, op string, payload []byte) ([]b
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err = writeFrame(conn, id, frameRequest, op, payload)
+	err = writeFrame(conn, id, TraceIDFrom(ctx), frameRequest, op, payload)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -562,32 +641,35 @@ func (c *Client) Close() {
 
 // --- framing -------------------------------------------------------------
 
-// writeFrame emits one frame: u32 body length, then u64 corrID, u8 type,
-// u16 op length, op bytes, payload bytes.
-func writeFrame(conn net.Conn, corrID uint64, ftype byte, op string, payload []byte) error {
-	body := 8 + 1 + 2 + len(op) + len(payload)
+// writeFrame emits one frame: u32 body length, then u64 corrID,
+// u64 traceID, u8 type, u16 op length, op bytes, payload bytes. The
+// trace ID rides every frame so one client operation is correlatable
+// across every process it touches; zero means untraced.
+func writeFrame(conn net.Conn, corrID, traceID uint64, ftype byte, op string, payload []byte) error {
+	body := 8 + 8 + 1 + 2 + len(op) + len(payload)
 	if body > MaxFrame {
 		return fmt.Errorf("netmsg: frame of %d bytes exceeds limit", body)
 	}
 	buf := make([]byte, 4+body)
 	binary.LittleEndian.PutUint32(buf, uint32(body))
 	binary.LittleEndian.PutUint64(buf[4:], corrID)
-	buf[12] = ftype
-	binary.LittleEndian.PutUint16(buf[13:], uint16(len(op)))
-	copy(buf[15:], op)
-	copy(buf[15+len(op):], payload)
+	binary.LittleEndian.PutUint64(buf[12:], traceID)
+	buf[20] = ftype
+	binary.LittleEndian.PutUint16(buf[21:], uint16(len(op)))
+	copy(buf[23:], op)
+	copy(buf[23+len(op):], payload)
 	_, err := conn.Write(buf)
 	return err
 }
 
 // readFrame reads one frame written by writeFrame.
-func readFrame(conn net.Conn) (corrID uint64, ftype byte, op string, payload []byte, err error) {
+func readFrame(conn net.Conn) (corrID, traceID uint64, ftype byte, op string, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
 		return
 	}
 	body := binary.LittleEndian.Uint32(hdr[:])
-	if body < 11 || body > MaxFrame {
+	if body < 19 || body > MaxFrame {
 		err = fmt.Errorf("netmsg: invalid frame length %d", body)
 		return
 	}
@@ -596,13 +678,14 @@ func readFrame(conn net.Conn) (corrID uint64, ftype byte, op string, payload []b
 		return
 	}
 	corrID = binary.LittleEndian.Uint64(buf)
-	ftype = buf[8]
-	opLen := int(binary.LittleEndian.Uint16(buf[9:]))
-	if 11+opLen > int(body) {
+	traceID = binary.LittleEndian.Uint64(buf[8:])
+	ftype = buf[16]
+	opLen := int(binary.LittleEndian.Uint16(buf[17:]))
+	if 19+opLen > int(body) {
 		err = fmt.Errorf("netmsg: invalid op length %d", opLen)
 		return
 	}
-	op = string(buf[11 : 11+opLen])
-	payload = buf[11+opLen:]
+	op = string(buf[19 : 19+opLen])
+	payload = buf[19+opLen:]
 	return
 }

@@ -1,8 +1,8 @@
 package netmsg
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,9 +15,9 @@ import (
 func startEcho(t *testing.T, addr string) (*Server, string) {
 	t.Helper()
 	s := NewServer()
-	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
-	s.Handle("fail", func(p []byte) ([]byte, error) { return nil, errors.New("boom") })
-	s.Handle("slow", func(p []byte) ([]byte, error) {
+	s.Handle("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	s.Handle("fail", func(_ context.Context, p []byte) ([]byte, error) { return nil, errors.New("boom") })
+	s.Handle("slow", func(_ context.Context, p []byte) ([]byte, error) {
 		time.Sleep(200 * time.Millisecond)
 		return p, nil
 	})
@@ -241,7 +241,7 @@ func TestFrameTooLarge(t *testing.T) {
 
 func BenchmarkRequestInproc(b *testing.B) {
 	s := NewServer()
-	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	if _, err := s.Listen("inproc://bench"); err != nil {
 		b.Fatal(err)
 	}

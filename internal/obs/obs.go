@@ -1,0 +1,58 @@
+// Package obs exposes a process's observability surface over HTTP: a
+// Prometheus-text /metrics endpoint fed by a metrics.Registry, plus a
+// /debug/volap JSON endpoint with component-specific state (shard tables,
+// in-flight operations, recent trace events). Every VOLAP binary opts in
+// with -metrics-addr; the endpoint is off by default so the data path
+// never pays for serving scrapes it doesn't want.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Server is one process's observability HTTP listener.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts the endpoint on addr (e.g. "127.0.0.1:9100"; port 0 picks
+// a free one — see Addr). reg backs /metrics; debug, when non-nil, is
+// called per /debug/volap request and its result rendered as JSON.
+// Returns immediately; the listener runs until Close.
+func Serve(addr string, reg *metrics.Registry, debug func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/volap", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var payload any
+		if debug != nil {
+			payload = debug()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	s := &Server{ln: ln, http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.http.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (resolves port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() { _ = s.http.Close() }

@@ -72,7 +72,7 @@ func TestQueryWedgedWorkerTimeout(t *testing.T) {
 	h := newHarness(t, 1, 1)
 	block := make(chan struct{})
 	h.fakeWorkerAt("wedged", map[string]netmsg.Handler{
-		"worker.query": func(p []byte) ([]byte, error) { <-block; return nil, nil },
+		"worker.query": func(_ context.Context, p []byte) ([]byte, error) { <-block; return nil, nil },
 	})
 	// Registered after fakeWorkerAt so it runs before the netmsg server's
 	// Close, which waits for in-flight handlers.
@@ -161,7 +161,7 @@ func TestStaleImageInsertAfterMigration(t *testing.T) {
 // against the owner the coordinator knows, invisibly to the caller.
 func TestStaleRouteRefreshOnMovedReply(t *testing.T) {
 	h := newHarness(t, 1, 1)
-	moved := func(p []byte) ([]byte, error) {
+	moved := func(_ context.Context, p []byte) ([]byte, error) {
 		return nil, errors.New(worker.MovedPrefix + "elsewhere")
 	}
 	h.fakeWorkerAt("ghost", map[string]netmsg.Handler{
@@ -226,7 +226,7 @@ func TestInsertBatchParallelFanOut(t *testing.T) {
 	h := newHarness(t, 0, 0)
 	const sleep = 150 * time.Millisecond
 	var inflight, peak atomic.Int32
-	slowInsert := func(p []byte) ([]byte, error) {
+	slowInsert := func(_ context.Context, p []byte) ([]byte, error) {
 		n := inflight.Add(1)
 		for {
 			old := peak.Load()

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/image"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/netmsg"
 	"repro/internal/wire"
 	"repro/internal/worker"
@@ -52,6 +54,10 @@ type Options struct {
 	// image refresh before the operation fails with ErrUnavailable
 	// (default 3).
 	MaxRetries int
+
+	// Metrics receives the server's instrumentation. When nil the server
+	// creates a private registry (reachable via Metrics()).
+	Metrics *metrics.Registry
 }
 
 // Server is one server node.
@@ -84,6 +90,15 @@ type Server struct {
 	syncPushes   uint64
 	watchEvents  uint64
 	staleRetries uint64 // forced image refreshes after stale/transport errors
+
+	// observability
+	reg      *metrics.Registry
+	trace    *metrics.TraceLog
+	opLat    *metrics.HistogramVec // server_op_seconds{op}
+	retries  *metrics.CounterVec   // server_retries_total{op}
+	routes   *metrics.CounterVec   // server_routes_total{op}
+	unavail  *metrics.Counter      // server_unavailable_total
+	inflight *metrics.Gauge        // server_inflight_ops
 }
 
 // New builds a server, loads the global image, and starts watching for
@@ -109,6 +124,10 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		id:         opts.ID,
 		co:         opts.Coord,
@@ -121,7 +140,17 @@ func New(opts Options) (*Server, error) {
 		workers:    make(map[string]*image.WorkerMeta),
 		conns:      make(map[string]*netmsg.Client),
 		dirty:      make(map[image.ShardID]struct{}),
+		reg:        reg,
+		trace:      metrics.NewTraceLog(0),
+		opLat:      reg.Histogram("server_op_seconds", "op"),
+		retries:    reg.Counter("server_retries_total", "op"),
+		routes:     reg.Counter("server_routes_total", "op"),
+		unavail:    reg.Counter("server_unavailable_total").With(),
+		inflight:   reg.Gauge("server_inflight_ops").With(),
 	}
+	reg.CounterFunc("server_sync_pushes_total", func() uint64 { p, _ := s.SyncStats(); return p })
+	reg.CounterFunc("server_watch_events_total", func() uint64 { _, e := s.SyncStats(); return e })
+	reg.CounterFunc("server_refreshes_total", func() uint64 { return s.RetryStats() })
 
 	// Bootstrap the local image from a consistent snapshot, then follow
 	// the event stream from the snapshot's cursor (no gap, no replay).
@@ -148,6 +177,33 @@ func (s *Server) Addr() string { return s.addr }
 
 // NumShards returns the number of shards in the local image.
 func (s *Server) NumShards() int { return s.idx.NumShards() }
+
+// Metrics returns the server's metric registry (for the /metrics
+// endpoint and tests).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Trace returns the server's recent trace events.
+func (s *Server) Trace() *metrics.TraceLog { return s.trace }
+
+// traceAdd records one trace event if the context carries a trace ID.
+func (s *Server) traceAdd(ctx context.Context, op, detail string) {
+	if id := netmsg.TraceIDFrom(ctx); id != 0 {
+		s.trace.Add(id, "server/"+s.id, op, detail)
+	}
+}
+
+// instrument wraps one client-facing op with latency, in-flight, route
+// counters, and a trace event.
+func (s *Server) instrument(ctx context.Context, op string) func() {
+	s.traceAdd(ctx, op, "")
+	s.routes.Inc(op)
+	s.inflight.Add(1)
+	stop := s.opLat.With(op).Time()
+	return func() {
+		stop()
+		s.inflight.Add(-1)
+	}
+}
 
 // applyNode folds one global-image node into the local image.
 func (s *Server) applyNode(path string, data []byte) {
@@ -218,7 +274,7 @@ func (s *Server) workerClient(workerID string) (*netmsg.Client, error) {
 	if c != nil {
 		return c, nil
 	}
-	c, err := netmsg.DialOptions(meta.Addr, netmsg.DialOpts{DefaultTimeout: s.reqTimeout})
+	c, err := netmsg.DialOptions(meta.Addr, netmsg.DialOpts{DefaultTimeout: s.reqTimeout, Metrics: s.reg})
 	if err != nil {
 		return nil, err
 	}
@@ -350,6 +406,11 @@ func (s *Server) BulkLoad(ctx context.Context, items []core.Item) error {
 func (s *Server) routeAndSend(ctx context.Context, items []core.Item, bulk bool) error {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
+	op := "insert"
+	if bulk {
+		op = "bulkload"
+	}
+	defer s.instrument(ctx, op)()
 	groups := make(map[image.ShardID][]core.Item)
 	for _, it := range items {
 		if err := s.cfg.Schema.ValidatePoint(it.Coords); err != nil {
@@ -399,6 +460,8 @@ func (s *Server) sendShardGroup(ctx context.Context, id image.ShardID, items []c
 	delay := 5 * time.Millisecond
 	for attempt := 0; attempt <= s.maxRetries; attempt++ {
 		if attempt > 0 {
+			s.retries.Inc(op)
+			s.traceAdd(ctx, op+".retry", fmt.Sprintf("shard %d attempt %d", id, attempt))
 			s.refreshShard(id)
 			var err error
 			if delay, err = retryBackoff(ctx, delay); err != nil {
@@ -426,6 +489,7 @@ func (s *Server) sendShardGroup(ctx context.Context, id image.ShardID, items []c
 			return ctxErr(err)
 		}
 	}
+	s.unavail.Inc()
 	return fmt.Errorf("%w: shard %d after %d attempts: %v", ErrUnavailable, id, s.maxRetries+1, lastErr)
 }
 
@@ -445,6 +509,7 @@ type QueryInfo struct {
 func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryInfo, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
+	defer s.instrument(ctx, "query")()
 	shards := s.idx.RouteQuery(q)
 	info := QueryInfo{ShardsConsidered: len(shards)}
 	agg := core.NewAggregate()
@@ -457,6 +522,8 @@ func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryI
 	delay := 5 * time.Millisecond
 	for attempt := 0; attempt <= s.maxRetries; attempt++ {
 		if attempt > 0 {
+			s.retries.Inc("worker.query")
+			s.traceAdd(ctx, "worker.query.retry", fmt.Sprintf("%d shards attempt %d", len(remaining), attempt))
 			for _, id := range remaining {
 				s.refreshShard(id)
 			}
@@ -528,6 +595,7 @@ func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryI
 		remaining = failed
 	}
 	info.WorkersContacted = len(contacted)
+	s.unavail.Inc()
 	return core.NewAggregate(), info, fmt.Errorf("%w: %d shards unreachable: %v",
 		ErrUnavailable, len(remaining), lastErr)
 }
@@ -667,8 +735,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	srv.Handle("server.query", s.handleQuery)
 	srv.Handle("server.groupby", s.handleGroupBy)
 	srv.Handle("server.stats", s.handleStats)
-	srv.Handle("server.sync", func([]byte) ([]byte, error) { s.SyncNow(); return nil, nil })
-	srv.Handle("server.ping", func([]byte) ([]byte, error) { return []byte("pong"), nil })
+	srv.Handle("server.clusterstats", s.handleClusterStats)
+	srv.Handle("server.sync", func(context.Context, []byte) ([]byte, error) { s.SyncNow(); return nil, nil })
+	srv.Handle("server.ping", func(context.Context, []byte) ([]byte, error) { return []byte("pong"), nil })
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return "", err
@@ -713,7 +782,7 @@ type Hello struct {
 }
 
 // handleHello serves the server.hello handshake.
-func (s *Server) handleHello(p []byte) ([]byte, error) {
+func (s *Server) handleHello(_ context.Context, p []byte) ([]byte, error) {
 	w := wire.NewWriter(32)
 	w.String(s.id)
 	w.Uvarint(uint64(s.cfg.Schema.NumDims()))
@@ -731,29 +800,29 @@ func DecodeHello(b []byte) (Hello, error) {
 	return h, nil
 }
 
-func (s *Server) handleInsert(p []byte) ([]byte, error) {
+func (s *Server) handleInsert(ctx context.Context, p []byte) ([]byte, error) {
 	items, err := decodeItems(p, s.cfg.Schema.NumDims())
 	if err != nil {
 		return nil, err
 	}
-	return nil, s.InsertBatch(context.Background(), items)
+	return nil, s.InsertBatch(ctx, items)
 }
 
-func (s *Server) handleBulkLoad(p []byte) ([]byte, error) {
+func (s *Server) handleBulkLoad(ctx context.Context, p []byte) ([]byte, error) {
 	items, err := decodeItems(p, s.cfg.Schema.NumDims())
 	if err != nil {
 		return nil, err
 	}
-	return nil, s.BulkLoad(context.Background(), items)
+	return nil, s.BulkLoad(ctx, items)
 }
 
-func (s *Server) handleQuery(p []byte) ([]byte, error) {
+func (s *Server) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	q, err := keys.DecodeRect(r)
 	if err != nil {
 		return nil, err
 	}
-	agg, info, err := s.Query(context.Background(), q)
+	agg, info, err := s.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -765,7 +834,7 @@ func (s *Server) handleQuery(p []byte) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-func (s *Server) handleGroupBy(p []byte) ([]byte, error) {
+func (s *Server) handleGroupBy(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	q, err := keys.DecodeRect(r)
 	if err != nil {
@@ -776,7 +845,7 @@ func (s *Server) handleGroupBy(p []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	groups, err := s.GroupBy(context.Background(), q, dim, level)
+	groups, err := s.GroupBy(ctx, q, dim, level)
 	if err != nil {
 		return nil, err
 	}
@@ -817,13 +886,152 @@ func DecodeGroupByResponse(b []byte) ([]GroupResult, error) {
 	return out, nil
 }
 
-func (s *Server) handleStats(p []byte) ([]byte, error) {
+func (s *Server) handleStats(_ context.Context, p []byte) ([]byte, error) {
 	w := wire.NewWriter(16)
 	w.Uvarint(uint64(s.idx.NumShards()))
 	pushes, events := s.SyncStats()
 	w.Uvarint(pushes)
 	w.Uvarint(events)
 	return w.Bytes(), nil
+}
+
+// WorkerStats is one worker's contribution to a ClusterStats reply.
+type WorkerStats struct {
+	ID          string
+	Addr        string
+	Shards      int
+	Items       uint64
+	MemBytes    uint64
+	ShardCounts map[image.ShardID]uint64
+	OpLatency   map[string]worker.OpLatency
+}
+
+// ClusterStats is the cluster-wide view assembled by server.clusterstats.
+type ClusterStats struct {
+	ServerID string
+	Shards   int // shards in the server's local image
+	Workers  []WorkerStats
+}
+
+// ClusterStats fans out to every known worker and assembles per-worker
+// shard counts, item totals, and op-latency summaries.
+func (s *Server) ClusterStats(ctx context.Context) (*ClusterStats, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	s.traceAdd(ctx, "clusterstats", "")
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	out := &ClusterStats{ServerID: s.id, Shards: s.idx.NumShards()}
+	for _, workerID := range ids {
+		c, err := s.workerClient(workerID)
+		if err != nil {
+			continue // a worker that just left the image is not fatal
+		}
+		raw, err := c.RequestCtx(ctx, "worker.stats", nil)
+		if err != nil {
+			continue
+		}
+		meta, err := image.DecodeWorkerMetaBytes(raw)
+		if err != nil {
+			continue
+		}
+		ws := WorkerStats{
+			ID: meta.ID, Addr: meta.Addr,
+			Shards: int(meta.Shards), Items: meta.Items, MemBytes: meta.MemBytes,
+		}
+		if raw, err := c.RequestCtx(ctx, "worker.shardcounts", nil); err == nil {
+			ws.ShardCounts, _ = worker.DecodeShardCounts(raw)
+		}
+		if raw, err := c.RequestCtx(ctx, "worker.opstats", nil); err == nil {
+			ws.OpLatency, _ = worker.DecodeOpStats(raw)
+		}
+		out.Workers = append(out.Workers, ws)
+	}
+	return out, nil
+}
+
+func (s *Server) handleClusterStats(ctx context.Context, _ []byte) ([]byte, error) {
+	cs, err := s.ClusterStats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeClusterStats(cs), nil
+}
+
+// EncodeClusterStats serializes a server.clusterstats reply.
+func EncodeClusterStats(cs *ClusterStats) []byte {
+	w := wire.NewWriter(64 + len(cs.Workers)*96)
+	w.String(cs.ServerID)
+	w.Uvarint(uint64(cs.Shards))
+	w.Uvarint(uint64(len(cs.Workers)))
+	for _, ws := range cs.Workers {
+		w.String(ws.ID)
+		w.String(ws.Addr)
+		w.Uvarint(uint64(ws.Shards))
+		w.Uvarint(ws.Items)
+		w.Uvarint(ws.MemBytes)
+		w.Uvarint(uint64(len(ws.ShardCounts)))
+		for id, n := range ws.ShardCounts {
+			w.Uvarint(uint64(id))
+			w.Uvarint(n)
+		}
+		w.Uvarint(uint64(len(ws.OpLatency)))
+		for op, l := range ws.OpLatency {
+			w.String(op)
+			w.Uvarint(l.Count)
+			w.Uvarint(uint64(l.Mean.Microseconds()))
+			w.Uvarint(uint64(l.P50.Microseconds()))
+			w.Uvarint(uint64(l.P99.Microseconds()))
+			w.Uvarint(uint64(l.Max.Microseconds()))
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeClusterStats parses a server.clusterstats reply.
+func DecodeClusterStats(b []byte) (*ClusterStats, error) {
+	r := wire.NewReader(b)
+	cs := &ClusterStats{ServerID: r.String(), Shards: int(r.Uvarint())}
+	nw := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	for i := uint64(0); i < nw; i++ {
+		ws := WorkerStats{
+			ID: r.String(), Addr: r.String(),
+			Shards: int(r.Uvarint()), Items: r.Uvarint(), MemBytes: r.Uvarint(),
+		}
+		if nc := r.Uvarint(); nc > 0 {
+			ws.ShardCounts = make(map[image.ShardID]uint64, nc)
+			for j := uint64(0); j < nc; j++ {
+				id := image.ShardID(r.Uvarint())
+				ws.ShardCounts[id] = r.Uvarint()
+			}
+		}
+		if no := r.Uvarint(); no > 0 {
+			ws.OpLatency = make(map[string]worker.OpLatency, no)
+			for j := uint64(0); j < no; j++ {
+				op := r.String()
+				ws.OpLatency[op] = worker.OpLatency{
+					Count: r.Uvarint(),
+					Mean:  time.Duration(r.Uvarint()) * time.Microsecond,
+					P50:   time.Duration(r.Uvarint()) * time.Microsecond,
+					P99:   time.Duration(r.Uvarint()) * time.Microsecond,
+					Max:   time.Duration(r.Uvarint()) * time.Microsecond,
+				}
+			}
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		cs.Workers = append(cs.Workers, ws)
+	}
+	return cs, nil
 }
 
 // decodeItems parses a bare item batch (no shard prefix).

@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -49,7 +50,7 @@ func DecodeSplitResult(b []byte) (*SplitResult, error) {
 	return res, r.Err()
 }
 
-func (w *Worker) handleSplitQuery(p []byte) ([]byte, error) {
+func (w *Worker) handleSplitQuery(_ context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	if r.Err() != nil {
@@ -75,7 +76,7 @@ func (w *Worker) handleSplitQuery(p []byte) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-func (w *Worker) handleSplitShard(p []byte) ([]byte, error) {
+func (w *Worker) handleSplitShard(_ context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	newID := image.ShardID(r.Uvarint())
@@ -186,7 +187,7 @@ func EncodeSendRequest(shard image.ShardID, destAddr string) []byte {
 	return w.Bytes()
 }
 
-func (w *Worker) handleSendShard(p []byte) ([]byte, error) {
+func (w *Worker) handleSendShard(_ context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	dest := r.String()
@@ -293,7 +294,7 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 	}
 }
 
-func (w *Worker) handleReceiveShard(p []byte) ([]byte, error) {
+func (w *Worker) handleReceiveShard(_ context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	blob := r.Bytes1()

@@ -8,8 +8,10 @@
 package worker
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/image"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/netmsg"
 	"repro/internal/wire"
 )
@@ -48,6 +51,14 @@ type Worker struct {
 	stopStats   chan struct{}
 	statsWg     sync.WaitGroup
 	closeOnce   sync.Once
+
+	// observability
+	reg        *metrics.Registry
+	trace      *metrics.TraceLog
+	insertLat  *metrics.HistogramVec // worker_insert_seconds{shard}
+	queryLat   *metrics.HistogramVec // worker_query_seconds{shard}
+	shardItems *metrics.GaugeVec     // worker_shard_items{shard}
+	forwards   *metrics.Counter      // worker_forwards_total
 }
 
 // MovedPrefix is the error prefix returned when a shard has migrated
@@ -73,16 +84,39 @@ func IsStaleRouteMsg(msg string) bool {
 
 // New builds a worker (not yet listening).
 func New(id string, cfg *image.ClusterConfig) *Worker {
+	reg := metrics.NewRegistry()
 	return &Worker{
-		id:     id,
-		cfg:    cfg,
-		shards: make(map[image.ShardID]*shardState),
-		peers:  make(map[string]*netmsg.Client),
+		id:         id,
+		cfg:        cfg,
+		shards:     make(map[image.ShardID]*shardState),
+		peers:      make(map[string]*netmsg.Client),
+		reg:        reg,
+		trace:      metrics.NewTraceLog(0),
+		insertLat:  reg.Histogram("worker_insert_seconds", "shard"),
+		queryLat:   reg.Histogram("worker_query_seconds", "shard"),
+		shardItems: reg.Gauge("worker_shard_items", "shard"),
+		forwards:   reg.Counter("worker_forwards_total").With(),
 	}
 }
 
 // ID returns the worker's identifier.
 func (w *Worker) ID() string { return w.id }
+
+// Metrics returns the worker's metric registry (for the /metrics
+// endpoint and tests).
+func (w *Worker) Metrics() *metrics.Registry { return w.reg }
+
+// Trace returns the worker's recent trace events.
+func (w *Worker) Trace() *metrics.TraceLog { return w.trace }
+
+// traceAdd records one trace event if the context carries a trace ID.
+func (w *Worker) traceAdd(ctx context.Context, op, detail string) {
+	if id := netmsg.TraceIDFrom(ctx); id != 0 {
+		w.trace.Add(id, "worker/"+w.id, op, detail)
+	}
+}
+
+func shardLabel(id image.ShardID) string { return strconv.FormatUint(uint64(id), 10) }
 
 // Addr returns the bound address (after Listen).
 func (w *Worker) Addr() string { return w.addr }
@@ -96,11 +130,12 @@ func (w *Worker) Listen(addr string) (string, error) {
 	srv.Handle("worker.query", w.handleQuery)
 	srv.Handle("worker.stats", w.handleStats)
 	srv.Handle("worker.shardcounts", w.handleShardCounts)
+	srv.Handle("worker.opstats", w.handleOpStats)
 	srv.Handle("worker.splitquery", w.handleSplitQuery)
 	srv.Handle("worker.splitshard", w.handleSplitShard)
 	srv.Handle("worker.sendshard", w.handleSendShard)
 	srv.Handle("worker.receiveshard", w.handleReceiveShard)
-	srv.Handle("worker.ping", func([]byte) ([]byte, error) { return []byte("pong"), nil })
+	srv.Handle("worker.ping", func(context.Context, []byte) ([]byte, error) { return []byte("pong"), nil })
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return "", err
@@ -132,20 +167,23 @@ func (w *Worker) StartStats(publish func(*image.WorkerMeta), interval time.Durat
 	}()
 }
 
-// Meta snapshots the worker's statistics.
+// Meta snapshots the worker's statistics and refreshes the per-shard
+// item-count gauges as a side effect (it runs on the stats interval).
 func (w *Worker) Meta() *image.WorkerMeta {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	m := &image.WorkerMeta{ID: w.id, Addr: w.addr, UpdatedMs: time.Now().UnixMilli()}
-	for _, st := range w.shards {
+	for id, st := range w.shards {
 		st.mu.RLock()
 		if st.store != nil {
-			m.Shards++
-			m.Items += st.store.Count()
-			m.MemBytes += st.store.MemoryBytes()
+			n := st.store.Count()
 			if st.queue != nil {
-				m.Items += st.queue.Count()
+				n += st.queue.Count()
 			}
+			m.Shards++
+			m.Items += n
+			m.MemBytes += st.store.MemoryBytes()
+			w.shardItems.Set(float64(n), shardLabel(id))
 		}
 		st.mu.RUnlock()
 	}
@@ -201,7 +239,7 @@ func (w *Worker) peer(addr string) (*netmsg.Client, error) {
 	if c, ok := w.peers[addr]; ok {
 		return c, nil
 	}
-	c, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: peerTimeout})
+	c, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: peerTimeout, Metrics: w.reg})
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +354,7 @@ func DecodeQueryReply(b []byte) (QueryReply, error) {
 
 // --- RPC handlers ----------------------------------------------------------
 
-func (w *Worker) handleCreateShard(p []byte) ([]byte, error) {
+func (w *Worker) handleCreateShard(_ context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	if r.Err() != nil {
@@ -325,19 +363,22 @@ func (w *Worker) handleCreateShard(p []byte) ([]byte, error) {
 	return nil, w.CreateShard(id)
 }
 
-func (w *Worker) handleInsert(p []byte) ([]byte, error) {
+func (w *Worker) handleInsert(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	items, err := decodeItems(r, w.cfg.Schema.NumDims())
 	if err != nil {
 		return nil, err
 	}
-	return nil, w.Insert(id, items)
+	return nil, w.Insert(ctx, id, items)
 }
 
 // Insert applies items to a shard, diverting to the insertion queue
-// during load-balancing operations and forwarding after a migration.
-func (w *Worker) Insert(id image.ShardID, items []core.Item) error {
+// during load-balancing operations and forwarding (with the caller's
+// trace context) after a migration.
+func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item) error {
+	w.traceAdd(ctx, "worker.insert", "shard "+shardLabel(id))
+	defer w.insertLat.With(shardLabel(id)).Time()()
 	st := w.shard(id)
 	if st == nil {
 		return fmt.Errorf("worker %s: unknown shard %d", w.id, id)
@@ -364,7 +405,9 @@ func (w *Worker) Insert(id image.ShardID, items []core.Item) error {
 		if err != nil {
 			return errors.New(MovedPrefix + dest)
 		}
-		_, err = peer.Request("worker.insert", EncodeInsertRequest(id, w.cfg.Schema.NumDims(), items))
+		w.forwards.Inc()
+		w.traceAdd(ctx, "worker.insert.forward", dest)
+		_, err = peer.RequestCtx(ctx, "worker.insert", EncodeInsertRequest(id, w.cfg.Schema.NumDims(), items))
 		return forwardErr(err, dest)
 	default:
 		st.mu.RUnlock()
@@ -372,13 +415,15 @@ func (w *Worker) Insert(id image.ShardID, items []core.Item) error {
 	}
 }
 
-func (w *Worker) handleBulkLoad(p []byte) ([]byte, error) {
+func (w *Worker) handleBulkLoad(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	id := image.ShardID(r.Uvarint())
 	items, err := decodeItems(r, w.cfg.Schema.NumDims())
 	if err != nil {
 		return nil, err
 	}
+	w.traceAdd(ctx, "worker.bulkload", "shard "+shardLabel(id))
+	defer w.insertLat.With(shardLabel(id)).Time()()
 	st := w.shard(id)
 	if st == nil {
 		return nil, fmt.Errorf("worker %s: unknown shard %d", w.id, id)
@@ -394,7 +439,7 @@ func (w *Worker) handleBulkLoad(p []byte) ([]byte, error) {
 	return nil, st.store.BulkLoad(items)
 }
 
-func (w *Worker) handleQuery(p []byte) ([]byte, error) {
+func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	r := wire.NewReader(p)
 	q, err := keys.DecodeRect(r)
 	if err != nil {
@@ -404,11 +449,12 @@ func (w *Worker) handleQuery(p []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
+	w.traceAdd(ctx, "worker.query", "")
 	agg := core.NewAggregate()
 	searched := uint32(0)
 	for i := uint64(0); i < n; i++ {
 		id := image.ShardID(r.Uvarint())
-		part, ok, err := w.QueryShard(id, q)
+		part, ok, err := w.QueryShard(ctx, id, q)
 		if err != nil {
 			return nil, err
 		}
@@ -425,10 +471,12 @@ func (w *Worker) handleQuery(p []byte) ([]byte, error) {
 
 // QueryShard aggregates one shard (including its insertion queue, so
 // "query processing is not interrupted while a split is in progress",
-// §III-E). Forwards if the shard migrated away. The boolean reports
-// whether the shard contributed (false for unknown shards, which can
-// happen transiently when a server's image is ahead of this worker).
-func (w *Worker) QueryShard(id image.ShardID, q keys.Rect) (core.Aggregate, bool, error) {
+// §III-E). Forwards (propagating the trace context) if the shard
+// migrated away. The boolean reports whether the shard contributed
+// (false for unknown shards, which can happen transiently when a
+// server's image is ahead of this worker).
+func (w *Worker) QueryShard(ctx context.Context, id image.ShardID, q keys.Rect) (core.Aggregate, bool, error) {
+	defer w.queryLat.With(shardLabel(id)).Time()()
 	st := w.shard(id)
 	if st == nil {
 		return core.NewAggregate(), false, nil
@@ -441,7 +489,9 @@ func (w *Worker) QueryShard(id image.ShardID, q keys.Rect) (core.Aggregate, bool
 		if err != nil {
 			return core.NewAggregate(), false, errors.New(MovedPrefix + forward)
 		}
-		resp, err := peer.Request("worker.query", EncodeQueryRequest(q, []image.ShardID{id}))
+		w.forwards.Inc()
+		w.traceAdd(ctx, "worker.query.forward", forward)
+		resp, err := peer.RequestCtx(ctx, "worker.query", EncodeQueryRequest(q, []image.ShardID{id}))
 		if err != nil {
 			return core.NewAggregate(), false, forwardErr(err, forward)
 		}
@@ -463,8 +513,77 @@ func (w *Worker) QueryShard(id image.ShardID, q keys.Rect) (core.Aggregate, bool
 	return agg, true, nil
 }
 
-func (w *Worker) handleStats(p []byte) ([]byte, error) {
+func (w *Worker) handleStats(context.Context, []byte) ([]byte, error) {
 	return w.Meta().EncodeBytes(), nil
+}
+
+// OpLatency is one operation's latency summary, as served by
+// worker.opstats and aggregated into ClusterStats.
+type OpLatency struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// OpStats summarizes the worker's per-op latency histograms, merged
+// across shards.
+func (w *Worker) OpStats() map[string]OpLatency {
+	out := make(map[string]OpLatency, 2)
+	for op, v := range map[string]*metrics.HistogramVec{
+		"insert": w.insertLat,
+		"query":  w.queryLat,
+	} {
+		d := v.Merged()
+		if d.Count == 0 {
+			continue
+		}
+		out[op] = OpLatency{
+			Count: d.Count,
+			Mean:  d.Mean(),
+			P50:   d.Percentile(0.5),
+			P99:   d.Percentile(0.99),
+			Max:   d.Max,
+		}
+	}
+	return out
+}
+
+func (w *Worker) handleOpStats(context.Context, []byte) ([]byte, error) {
+	stats := w.OpStats()
+	out := wire.NewWriter(16 + len(stats)*48)
+	out.Uvarint(uint64(len(stats)))
+	for op, s := range stats {
+		out.String(op)
+		out.Uvarint(s.Count)
+		out.Uvarint(uint64(s.Mean.Microseconds()))
+		out.Uvarint(uint64(s.P50.Microseconds()))
+		out.Uvarint(uint64(s.P99.Microseconds()))
+		out.Uvarint(uint64(s.Max.Microseconds()))
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeOpStats parses a worker.opstats reply.
+func DecodeOpStats(b []byte) (map[string]OpLatency, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	out := make(map[string]OpLatency, n)
+	for i := uint64(0); i < n; i++ {
+		op := r.String()
+		out[op] = OpLatency{
+			Count: r.Uvarint(),
+			Mean:  time.Duration(r.Uvarint()) * time.Microsecond,
+			P50:   time.Duration(r.Uvarint()) * time.Microsecond,
+			P99:   time.Duration(r.Uvarint()) * time.Microsecond,
+			Max:   time.Duration(r.Uvarint()) * time.Microsecond,
+		}
+	}
+	return out, r.Err()
 }
 
 // ShardCounts snapshots the item count of every locally hosted shard.
@@ -494,7 +613,7 @@ func (w *Worker) ShardCounts() map[image.ShardID]uint64 {
 	return out
 }
 
-func (w *Worker) handleShardCounts(p []byte) ([]byte, error) {
+func (w *Worker) handleShardCounts(_ context.Context, p []byte) ([]byte, error) {
 	counts := w.ShardCounts()
 	out := wire.NewWriter(8 + len(counts)*10)
 	out.Uvarint(uint64(len(counts)))

@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -98,7 +99,7 @@ func TestCreateInsertQueryRPC(t *testing.T) {
 		t.Errorf("unknown shard searched = %d", rep.ShardsSearched)
 	}
 	// Insert to an unknown shard is an error.
-	if err := w.Insert(42, items[:1]); err == nil {
+	if err := w.Insert(context.Background(), 42, items[:1]); err == nil {
 		t.Error("insert to unknown shard should fail")
 	}
 	if n := w.ShardCount(1); n != 500 {
@@ -129,7 +130,7 @@ func TestMeta(t *testing.T) {
 	w.CreateShard(1)
 	w.CreateShard(2)
 	rng := rand.New(rand.NewSource(3))
-	w.Insert(1, randItems(rng, w.cfg, 100))
+	w.Insert(context.Background(), 1, randItems(rng, w.cfg, 100))
 	m := w.Meta()
 	if m.ID != "wm" || m.Shards != 2 || m.Items != 100 || m.MemBytes == 0 {
 		t.Fatalf("meta = %+v", m)
@@ -163,7 +164,7 @@ func TestSplitShard(t *testing.T) {
 	w.CreateShard(1)
 	rng := rand.New(rand.NewSource(5))
 	items := randItems(rng, w.cfg, 3000)
-	if err := w.Insert(1, items); err != nil {
+	if err := w.Insert(context.Background(), 1, items); err != nil {
 		t.Fatal(err)
 	}
 	// Plan via RPC.
@@ -188,8 +189,8 @@ func TestSplitShard(t *testing.T) {
 		t.Error("hosted counts do not match split result")
 	}
 	// Together the halves answer like the original.
-	agg1, ok, _ := w.QueryShard(1, keys.AllRect(w.cfg.Schema))
-	agg2, ok2, _ := w.QueryShard(2, keys.AllRect(w.cfg.Schema))
+	agg1, ok, _ := w.QueryShard(context.Background(), 1, keys.AllRect(w.cfg.Schema))
+	agg2, ok2, _ := w.QueryShard(context.Background(), 2, keys.AllRect(w.cfg.Schema))
 	if !ok || !ok2 || agg1.Count+agg2.Count != 3000 {
 		t.Fatalf("halves query %d + %d", agg1.Count, agg2.Count)
 	}
@@ -208,7 +209,7 @@ func TestSplitUnderLoad(t *testing.T) {
 	w, _ := startWorker(t, "wsl")
 	w.CreateShard(1)
 	rng := rand.New(rand.NewSource(7))
-	if err := w.Insert(1, randItems(rng, w.cfg, 2000)); err != nil {
+	if err := w.Insert(context.Background(), 1, randItems(rng, w.cfg, 2000)); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -221,7 +222,7 @@ func TestSplitUnderLoad(t *testing.T) {
 			r := rand.New(rand.NewSource(seed))
 			n := 0
 			for i := 0; i < 500; i++ {
-				if err := w.Insert(1, randItems(r, w.cfg, 1)); err != nil {
+				if err := w.Insert(context.Background(), 1, randItems(r, w.cfg, 1)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -253,7 +254,7 @@ func TestMigration(t *testing.T) {
 	dst, _ := startWorker(t, "wdst")
 	src.CreateShard(1)
 	rng := rand.New(rand.NewSource(9))
-	if err := src.Insert(1, randItems(rng, src.cfg, 2000)); err != nil {
+	if err := src.Insert(context.Background(), 1, randItems(rng, src.cfg, 2000)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -271,7 +272,7 @@ func TestMigration(t *testing.T) {
 				return
 			default:
 			}
-			if err := src.Insert(1, randItems(r, src.cfg, 1)); err != nil {
+			if err := src.Insert(context.Background(), 1, randItems(r, src.cfg, 1)); err != nil {
 				t.Error(err)
 				return
 			}
@@ -300,7 +301,7 @@ func TestMigration(t *testing.T) {
 	// converge once the writer stops.
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		agg, ok, err := src.QueryShard(1, keys.AllRect(src.cfg.Schema))
+		agg, ok, err := src.QueryShard(context.Background(), 1, keys.AllRect(src.cfg.Schema))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,7 +317,7 @@ func TestMigration(t *testing.T) {
 		t.Fatalf("destination has %d items, want %d", dst.ShardCount(1), want)
 	}
 	// Inserts to the source keep working via forwarding.
-	if err := src.Insert(1, randItems(rng, src.cfg, 5)); err != nil {
+	if err := src.Insert(context.Background(), 1, randItems(rng, src.cfg, 5)); err != nil {
 		t.Fatal(err)
 	}
 	if dst.ShardCount(1) != want+5 {
@@ -335,7 +336,7 @@ func TestSendShardErrors(t *testing.T) {
 	}
 	w.CreateShard(1)
 	rng := rand.New(rand.NewSource(13))
-	w.Insert(1, randItems(rng, w.cfg, 10))
+	w.Insert(context.Background(), 1, randItems(rng, w.cfg, 10))
 	if _, err := w.SendShard(1, "inproc://nowhere"); err == nil {
 		t.Error("sending to unreachable worker should fail")
 	}
@@ -343,7 +344,7 @@ func TestSendShardErrors(t *testing.T) {
 	if n := w.ShardCount(1); n != 10 {
 		t.Fatalf("after rollback count = %d", n)
 	}
-	if err := w.Insert(1, randItems(rng, w.cfg, 3)); err != nil {
+	if err := w.Insert(context.Background(), 1, randItems(rng, w.cfg, 3)); err != nil {
 		t.Fatal(err)
 	}
 	if n := w.ShardCount(1); n != 13 {
@@ -357,7 +358,7 @@ func TestReceiveShardErrors(t *testing.T) {
 	b, _ := startWorker(t, "wrb")
 	a.CreateShard(1)
 	rng := rand.New(rand.NewSource(15))
-	a.Insert(1, randItems(rng, a.cfg, 50))
+	a.Insert(context.Background(), 1, randItems(rng, a.cfg, 50))
 	if _, err := a.SendShard(1, b.Addr()); err != nil {
 		t.Fatal(err)
 	}
@@ -397,8 +398,8 @@ func TestShardCounts(t *testing.T) {
 	w.CreateShard(1)
 	w.CreateShard(2)
 	rng := rand.New(rand.NewSource(16))
-	w.Insert(1, randItems(rng, w.cfg, 30))
-	w.Insert(2, randItems(rng, w.cfg, 70))
+	w.Insert(context.Background(), 1, randItems(rng, w.cfg, 30))
+	w.Insert(context.Background(), 2, randItems(rng, w.cfg, 70))
 	resp, err := c.Request("worker.shardcounts", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -417,5 +418,47 @@ func TestPing(t *testing.T) {
 	resp, err := c.Request("worker.ping", nil)
 	if err != nil || string(resp) != "pong" {
 		t.Fatalf("ping = %q %v", resp, err)
+	}
+}
+
+// TestTraceForwardPropagation checks that a traced insert against a
+// migrated-away shard records the trace ID on both the forwarding worker
+// (with a forward event) and the destination worker.
+func TestTraceForwardPropagation(t *testing.T) {
+	src, _ := startWorker(t, "wtfsrc")
+	dst, _ := startWorker(t, "wtfdst")
+	src.CreateShard(1)
+	rng := rand.New(rand.NewSource(21))
+	if err := src.Insert(context.Background(), 1, randItems(rng, src.cfg, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.SendShard(1, dst.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, traceID := netmsg.EnsureTraceID(context.Background())
+	if err := src.Insert(ctx, 1, randItems(rng, src.cfg, 5)); err != nil {
+		t.Fatal(err)
+	}
+	forwarded := false
+	for _, ev := range src.Trace().For(traceID) {
+		if ev.Op == "worker.insert.forward" {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		t.Errorf("source trace has no forward event: %+v", src.Trace().For(traceID))
+	}
+	if !dst.Trace().Has(traceID) {
+		t.Errorf("destination trace is missing trace %d: %+v", traceID, dst.Trace().Events())
+	}
+
+	// The traced query path forwards the same way.
+	qctx, qID := netmsg.EnsureTraceID(context.Background())
+	if _, _, err := src.QueryShard(qctx, 1, keys.AllRect(src.cfg.Schema)); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Trace().Has(qID) {
+		t.Errorf("destination trace is missing query trace %d", qID)
 	}
 }

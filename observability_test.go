@@ -1,0 +1,178 @@
+package volap
+
+// Observability integration tests: trace-ID propagation across the
+// client → server → worker chain, and the /metrics endpoint over live
+// component registries.
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceIDPropagation drives one traced query through a server and
+// two workers and checks the same trace ID lands in all three
+// components' trace-event buffers.
+func TestTraceIDPropagation(t *testing.T) {
+	opts := testOptions(t)
+	opts.Servers = 1
+	cluster, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cl, err := cluster.ClientTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Spread data over both workers' shards so the query fans out.
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, 2000)
+	for i := range items {
+		items[i] = randItem(rng, cluster.Schema())
+	}
+	if err := cl.InsertBatchNoCtx(items); err != nil {
+		t.Fatal(err)
+	}
+	cluster.SyncAll()
+
+	ctx, traceID := WithTrace(context.Background())
+	if traceID == 0 {
+		t.Fatal("WithTrace minted trace ID 0")
+	}
+	if got := TraceID(ctx); got != traceID {
+		t.Fatalf("TraceID(ctx) = %d, want %d", got, traceID)
+	}
+	// WithTrace keeps an existing ID instead of re-minting.
+	if ctx2, id2 := WithTrace(ctx); id2 != traceID || TraceID(ctx2) != traceID {
+		t.Fatalf("WithTrace re-minted: %d, want %d", id2, traceID)
+	}
+
+	agg, info, err := cl.Query(ctx, AllRect(cluster.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != uint64(len(items)) {
+		t.Fatalf("count = %d, want %d", agg.Count, len(items))
+	}
+	if info.WorkersContacted != 2 {
+		t.Fatalf("workers contacted = %d, want 2", info.WorkersContacted)
+	}
+
+	if !cluster.servers[0].Trace().Has(traceID) {
+		t.Errorf("server trace buffer is missing trace %d: %+v",
+			traceID, cluster.servers[0].Trace().Events())
+	}
+	for i, w := range cluster.workers {
+		if !w.Trace().Has(traceID) {
+			t.Errorf("worker %d trace buffer is missing trace %d: %+v",
+				i, traceID, w.Trace().Events())
+		}
+	}
+
+	// The server's buffer names the op; the workers' buffers name theirs.
+	foundOp := false
+	for _, ev := range cluster.servers[0].Trace().For(traceID) {
+		if ev.Op == "query" {
+			foundOp = true
+		}
+	}
+	if !foundOp {
+		t.Errorf("server trace for %d has no query op: %+v",
+			traceID, cluster.servers[0].Trace().For(traceID))
+	}
+}
+
+// promLine matches one Prometheus exposition sample line.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([-+0-9.eE]+|\+Inf|NaN)$`)
+
+// scrape fetches and parses a /metrics endpoint, returning the summed
+// value per metric name.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ct)
+	}
+	sums := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable metrics line from %s: %q", url, line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue // +Inf / NaN never appear on counters we assert on
+		}
+		sums[m[1]] += v
+	}
+	return sums
+}
+
+// TestMetricsEndpoint serves each embedded component's registry over
+// HTTP after live traffic and checks the scrape parses with nonzero op
+// counters on every process.
+func TestMetricsEndpoint(t *testing.T) {
+	opts := testOptions(t)
+	opts.Servers = 1
+	cluster, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cl, err := cluster.ClientTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(8))
+	items := make([]Item, 1000)
+	for i := range items {
+		items[i] = randItem(rng, cluster.Schema())
+	}
+	if err := cl.InsertBatchNoCtx(items); err != nil {
+		t.Fatal(err)
+	}
+	cluster.SyncAll()
+	if _, _, err := cl.QueryNoCtx(AllRect(cluster.Schema())); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, reg *Registry, counter string) {
+		o, err := obs.Serve("127.0.0.1:0", reg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+		sums := scrape(t, "http://"+o.Addr()+"/metrics")
+		if sums[counter] == 0 {
+			t.Errorf("%s: %s = 0, want nonzero (scraped %d families)", name, counter, len(sums))
+		}
+	}
+	check("server", cluster.servers[0].Metrics(), "server_routes_total")
+	for _, w := range cluster.workers {
+		check("worker "+w.ID(), w.Metrics(), "worker_insert_seconds_count")
+	}
+	check("client", cl.Metrics(), "netmsg_request_seconds_count")
+}

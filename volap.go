@@ -40,6 +40,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/keys"
 	"repro/internal/manager"
+	"repro/internal/metrics"
 	"repro/internal/netmsg"
 	"repro/internal/server"
 	"repro/internal/tpcds"
@@ -75,6 +76,18 @@ type (
 	ShardID = image.ShardID
 	// BalanceStats counts load-balancer activity.
 	BalanceStats = manager.Stats
+	// ClusterStats aggregates per-worker shard placement, item counts and
+	// operation latency summaries (see Client.ClusterStats).
+	ClusterStats = server.ClusterStats
+	// WorkerStats is one worker's slice of ClusterStats.
+	WorkerStats = server.WorkerStats
+	// OpLatency summarizes one operation's latency distribution.
+	OpLatency = worker.OpLatency
+	// Registry collects named counters, gauges and histograms and exports
+	// them as Prometheus text (see internal/obs for the HTTP endpoint).
+	Registry = metrics.Registry
+	// TraceEvent is one entry of a component's request-trace ring.
+	TraceEvent = metrics.TraceEvent
 )
 
 // Shard store kinds (see the paper §III-D).
@@ -511,6 +524,10 @@ type ClientOptions struct {
 	// the reply arrived (default 3). Only transport failures are
 	// retried; remote errors and deadline expiry are not.
 	MaxRetries int
+	// Metrics receives the session's transport instrumentation
+	// (netmsg_request_seconds, reconnect counters). When nil the client
+	// creates a private registry, reachable via Client.Metrics().
+	Metrics *metrics.Registry
 }
 
 func (o *ClientOptions) defaults() {
@@ -534,6 +551,7 @@ type Client struct {
 	dims    int
 	hash    uint64 // schema fingerprint from the handshake (0 if skipped)
 	retries int
+	reg     *metrics.Registry
 }
 
 // Connect attaches a client session to a server address. The schema's
@@ -546,7 +564,11 @@ func Connect(addr string) (*Client, error) {
 // ConnectWith is Connect with an explicit request policy.
 func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
 	opts.defaults()
-	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout})
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -560,7 +582,7 @@ func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("volap: handshake with %s: %w", addr, err)
 	}
-	return &Client{c: nc, dims: h.Dims, hash: h.ConfigHash, retries: opts.MaxRetries}, nil
+	return &Client{c: nc, dims: h.Dims, hash: h.ConfigHash, retries: opts.MaxRetries, reg: reg}, nil
 }
 
 // ConnectDims attaches a client session without the handshake round
@@ -572,11 +594,15 @@ func ConnectDims(addr string, dims int) (*Client, error) {
 // ConnectDimsWith is ConnectDims with an explicit request policy.
 func ConnectDimsWith(addr string, dims int, opts ClientOptions) (*Client, error) {
 	opts.defaults()
-	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout})
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: nc, dims: dims, retries: opts.MaxRetries}, nil
+	return &Client{c: nc, dims: dims, retries: opts.MaxRetries, reg: reg}, nil
 }
 
 // Dims returns the schema dimension count the session encodes items
@@ -587,11 +613,27 @@ func (cl *Client) Dims() int { return cl.dims }
 // (0 when the session was opened with ConnectDims).
 func (cl *Client) ConfigHash() uint64 { return cl.hash }
 
+// Metrics returns the session's registry: request latency histograms per
+// op plus reconnect/dial-failure counters.
+func (cl *Client) Metrics() *Registry { return cl.reg }
+
+// WithTrace stamps a fresh trace ID on the context (keeping an existing
+// one) and returns it alongside the derived context. Every RPC the
+// client issues under that context — and every hop it fans out to inside
+// the cluster — records trace events tagged with the same ID.
+func WithTrace(ctx context.Context) (context.Context, uint64) {
+	return netmsg.EnsureTraceID(ctx)
+}
+
+// TraceID extracts the trace ID from a context (0 when absent).
+func TraceID(ctx context.Context) uint64 { return netmsg.TraceIDFrom(ctx) }
+
 // request issues one RPC, re-dialing and re-issuing on transport
 // failures (the netmsg layer reconnects with backoff; this layer decides
 // the attempt budget) and mapping remote error text back onto the typed
 // error set.
 func (cl *Client) request(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	ctx, _ = netmsg.EnsureTraceID(ctx)
 	var resp []byte
 	var err error
 	for attempt := 0; attempt <= cl.retries; attempt++ {
@@ -691,6 +733,17 @@ func (cl *Client) Sync(ctx context.Context) error {
 	return err
 }
 
+// ClusterStats asks the session's server for a cluster-wide snapshot:
+// per-worker shard counts, item totals, memory footprint and operation
+// latency summaries, gathered over the workers' stats RPCs.
+func (cl *Client) ClusterStats(ctx context.Context) (*ClusterStats, error) {
+	resp, err := cl.request(ctx, "server.clusterstats", nil)
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeClusterStats(resp)
+}
+
 // No-context convenience wrappers: context.Background() bounded by the
 // session's request timeout, so examples and interactive use stay
 // one-liners.
@@ -720,6 +773,11 @@ func (cl *Client) GroupByNoCtx(base Rect, dim, level int) ([]GroupResult, error)
 
 // SyncNoCtx is Sync with context.Background().
 func (cl *Client) SyncNoCtx() error { return cl.Sync(context.Background()) }
+
+// ClusterStatsNoCtx is ClusterStats with context.Background().
+func (cl *Client) ClusterStatsNoCtx() (*ClusterStats, error) {
+	return cl.ClusterStats(context.Background())
+}
 
 // Close detaches the session.
 func (cl *Client) Close() { cl.c.Close() }

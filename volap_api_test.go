@@ -51,7 +51,7 @@ func TestConnectHandshake(t *testing.T) {
 func TestClientTimeoutWedgedServer(t *testing.T) {
 	stub := netmsg.NewServer()
 	block := make(chan struct{})
-	stub.Handle("server.query", func(p []byte) ([]byte, error) { <-block; return nil, nil })
+	stub.Handle("server.query", func(_ context.Context, p []byte) ([]byte, error) { <-block; return nil, nil })
 	addr, err := stub.Listen("inproc://wedged-server-test")
 	if err != nil {
 		t.Fatal(err)
