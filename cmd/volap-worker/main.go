@@ -26,6 +26,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	shards := flag.Int("shards", 4, "initial empty shards to create and register")
 	stats := flag.Duration("stats", 500*time.Millisecond, "statistics publication interval")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Second, "liveness session TTL; the registration disappears this long after the worker dies")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
 	if *id == "" {
@@ -56,8 +57,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "volap-worker:", err)
 		os.Exit(1)
 	}
+	// Register ephemerally under a liveness session: if this process dies,
+	// the registration is reaped after one TTL and servers mark the
+	// worker's shards down instead of timing out against a corpse.
+	sess, err := coord.OpenSession(co, *sessionTTL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-worker: session:", err)
+		os.Exit(1)
+	}
 	publish := func(m *image.WorkerMeta) {
-		_, _ = co.CreateOrSet(image.WorkerPath(*id), m.EncodeBytes())
+		_ = sess.Publish(image.WorkerPath(*id), m.EncodeBytes())
 	}
 	publish(w.Meta())
 	w.StartStats(publish, *stats)
@@ -110,4 +119,5 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	w.Close()
+	_ = sess.Close() // graceful deregistration: ephemerals vanish now, not after TTL
 }

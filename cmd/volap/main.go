@@ -71,8 +71,8 @@ func main() {
 		defer serveObs(*metricsAddr, cl)()
 		agg, info, err := cl.QueryNoCtx(volap.AllRect(schema))
 		fatal(err, "query")
-		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)\n",
-			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted)
+		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)%s\n",
+			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted, partialNote(info))
 		gen := tpcds.NewGenerator(schema, *seed, 1.1)
 		for i := 0; i < *n; i++ {
 			q := gen.Query()
@@ -83,12 +83,21 @@ func main() {
 			if total, _, err := cl.QueryNoCtx(volap.AllRect(schema)); err == nil && total.Count > 0 {
 				cov = float64(agg.Count) / float64(total.Count)
 			}
-			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v\n",
-				i, cov*100, agg.Count, agg.Sum, info.ShardsSearched, time.Since(start).Round(time.Microsecond))
+			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v%s\n",
+				i, cov*100, agg.Count, agg.Sum, info.ShardsSearched, time.Since(start).Round(time.Microsecond), partialNote(info))
 		}
 	default:
 		usage()
 	}
+}
+
+// partialNote flags a degraded result so a lower-than-expected count is
+// never mistaken for the true total.
+func partialNote(info volap.QueryInfo) string {
+	if !info.Partial() {
+		return ""
+	}
+	return fmt.Sprintf(" PARTIAL: missing shards %v", info.MissingShards)
 }
 
 // connect picks a server (explicitly or from the image) and attaches a

@@ -195,6 +195,95 @@ func TestMultiProcessDeployment(t *testing.T) {
 	}
 }
 
+// TestMultiProcessWorkerKill checks failure detection across real
+// process boundaries: a SIGKILLed worker cannot say goodbye, so its
+// ephemeral registration must vanish through session expiry alone —
+// heartbeats from the live process sustain the lease, the kill starves
+// it, the coordination janitor reaps it.
+func TestMultiProcessWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill test skipped in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/volap-coord", "./cmd/volap-worker")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	coordAddr := freePort(t)
+	workerAddr := freePort(t)
+	coordCmd := exec.Command(filepath.Join(bin, "volap-coord"), "-listen", coordAddr)
+	coordCmd.Stdout = os.Stderr
+	coordCmd.Stderr = os.Stderr
+	if err := coordCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = coordCmd.Process.Kill()
+		_, _ = coordCmd.Process.Wait()
+	})
+	waitDial(t, coordAddr)
+
+	const ttl = 500 * time.Millisecond
+	workerCmd := exec.Command(filepath.Join(bin, "volap-worker"),
+		"-coord", coordAddr, "-id", "w0", "-listen", workerAddr,
+		"-shards", "2", "-session-ttl", ttl.String())
+	workerCmd.Stdout = os.Stderr
+	workerCmd.Stderr = os.Stderr
+	if err := workerCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = workerCmd.Process.Kill()
+		_, _ = workerCmd.Process.Wait()
+	})
+
+	co, err := coord.DialClient(coordAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	registered := func() bool { return co.Exists(image.WorkerPath("w0")) }
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !registered() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Heartbeats must hold the lease across several TTL windows while the
+	// process lives.
+	hold := time.Now().Add(3 * ttl)
+	for time.Now().Before(hold) {
+		if !registered() {
+			t.Fatal("registration lapsed while the worker was alive")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL: no deferred cleanup runs in the worker, so only the
+	// session TTL can clear the registration.
+	if err := workerCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = workerCmd.Process.Wait()
+	killedAt := time.Now()
+	deadline = killedAt.Add(10 * time.Second)
+	for registered() {
+		if time.Now().After(deadline) {
+			t.Fatal("registration survived 10s past a SIGKILL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The lease ran its course: reaping can't beat the TTL itself (a
+	// too-early reap would mean expiry ignores heartbeats entirely).
+	if took := time.Since(killedAt); took > 5*time.Second {
+		t.Errorf("expiry took %v, want within a few TTLs of the kill", took)
+	}
+}
+
 // debugHasTrace reads a process's /debug/volap endpoint and reports
 // whether its trace-event buffer contains the given trace ID.
 func debugHasTrace(t *testing.T, addr string, traceID uint64) bool {

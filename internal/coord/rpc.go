@@ -24,6 +24,13 @@ type Coordinator interface {
 	Delete(path string, expected int64) error
 	Snapshot(prefix string) (map[string][]byte, uint64)
 	EventsSince(since uint64, prefix string, limit int, timeout time.Duration) ([]Event, uint64, error)
+
+	// Liveness sessions (§III-B): ephemeral nodes vanish when their
+	// session misses heartbeats for a TTL, firing deletion watches.
+	CreateSession(ttl time.Duration) (SessionID, error)
+	Heartbeat(id SessionID) error
+	CloseSession(id SessionID) error
+	CreateEphemeral(path string, data []byte, owner SessionID) (int64, error)
 }
 
 var (
@@ -153,6 +160,45 @@ func Serve(s *Store, addr string) (*netmsg.Server, string, error) {
 		}
 		return w.Bytes(), nil
 	})
+	srv.Handle("coord.mksession", func(_ context.Context, p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		ttl := time.Duration(r.Uvarint()) * time.Millisecond
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		id, err := s.CreateSession(ttl)
+		if err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(8)
+		w.Uint64(uint64(id))
+		return w.Bytes(), nil
+	})
+	srv.Handle("coord.heartbeat", func(_ context.Context, p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		id := SessionID(r.Uint64())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, s.Heartbeat(id)
+	})
+	srv.Handle("coord.rmsession", func(_ context.Context, p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		id := SessionID(r.Uint64())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, s.CloseSession(id)
+	})
+	srv.Handle("coord.mkephemeral", func(_ context.Context, p []byte) ([]byte, error) {
+		r := wire.NewReader(p)
+		path, data, owner := r.String(), r.Bytes1(), SessionID(r.Uint64())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v, err := s.CreateEphemeral(path, data, owner)
+		return versionReply(v), err
+	})
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, "", err
@@ -173,7 +219,13 @@ type Client struct {
 
 // DialClient connects to a served store.
 func DialClient(addr string) (*Client, error) {
-	c, err := netmsg.Dial(addr)
+	return DialClientOptions(addr, netmsg.DialOpts{})
+}
+
+// DialClientOptions connects with explicit netmsg options (deadlines,
+// fault injection for chaos tests).
+func DialClientOptions(addr string, opts netmsg.DialOpts) (*Client, error) {
+	c, err := netmsg.DialOptions(addr, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +245,7 @@ func mapRemoteError(err error) error {
 	if !errors.As(err, &re) {
 		return err
 	}
-	for _, sentinel := range []error{ErrNoNode, ErrNodeExists, ErrBadVersion, ErrCompacted, ErrBadPath, ErrStoreClosed} {
+	for _, sentinel := range []error{ErrNoNode, ErrNodeExists, ErrBadVersion, ErrCompacted, ErrBadPath, ErrStoreClosed, ErrNoSession, ErrEphemeral} {
 		if strings.HasPrefix(re.Msg, sentinel.Error()) {
 			return sentinel
 		}
@@ -310,6 +362,46 @@ func (c *Client) Snapshot(prefix string) (map[string][]byte, uint64) {
 		return nil, 0
 	}
 	return out, seq
+}
+
+// CreateSession implements Coordinator.
+func (c *Client) CreateSession(ttl time.Duration) (SessionID, error) {
+	w := wire.NewWriter(12)
+	w.Uvarint(uint64(ttl / time.Millisecond))
+	resp, err := c.c.Request("coord.mksession", w.Bytes())
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	return SessionID(wire.NewReader(resp).Uint64()), nil
+}
+
+// Heartbeat implements Coordinator.
+func (c *Client) Heartbeat(id SessionID) error {
+	w := wire.NewWriter(8)
+	w.Uint64(uint64(id))
+	_, err := c.c.Request("coord.heartbeat", w.Bytes())
+	return mapRemoteError(err)
+}
+
+// CloseSession implements Coordinator.
+func (c *Client) CloseSession(id SessionID) error {
+	w := wire.NewWriter(8)
+	w.Uint64(uint64(id))
+	_, err := c.c.Request("coord.rmsession", w.Bytes())
+	return mapRemoteError(err)
+}
+
+// CreateEphemeral implements Coordinator.
+func (c *Client) CreateEphemeral(path string, data []byte, owner SessionID) (int64, error) {
+	w := wire.NewWriter(len(path) + len(data) + 16)
+	w.String(path)
+	w.Bytes1(data)
+	w.Uint64(uint64(owner))
+	resp, err := c.c.Request("coord.mkephemeral", w.Bytes())
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	return wire.NewReader(resp).Varint(), nil
 }
 
 // EventsSince implements Coordinator via long-polling.

@@ -1,0 +1,337 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Session errors.
+var (
+	// ErrNoSession is returned for operations on an unknown or expired
+	// session.
+	ErrNoSession = errors.New("coord: no such session")
+	// ErrEphemeral rejects children under an ephemeral node: ephemerals
+	// are leaves, exactly as in Zookeeper.
+	ErrEphemeral = errors.New("coord: ephemeral nodes cannot have children")
+)
+
+// SessionID names one liveness session on the store. IDs are never
+// reused, so a stale holder cannot touch a successor's ephemerals.
+type SessionID uint64
+
+// session is the store-side record of one client's liveness lease.
+type session struct {
+	ttl      time.Duration
+	deadline time.Time
+	eph      map[string]struct{} // paths of ephemerals owned by this session
+}
+
+// janitorInterval is how often the background sweeper looks for expired
+// sessions. Lazy expiry on every store operation keeps embedded
+// clusters precise; the janitor exists so an idle store still reaps
+// sessions (and fires their watches) in real time.
+const janitorInterval = 50 * time.Millisecond
+
+// CreateSession opens a session that must be renewed via Heartbeat
+// within ttl or its ephemeral nodes are deleted (firing watches, exactly
+// like a Zookeeper session expiry).
+func (s *Store) CreateSession(ttl time.Duration) (SessionID, error) {
+	if ttl <= 0 {
+		return 0, fmt.Errorf("coord: session ttl %v must be positive", ttl)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStoreClosed
+	}
+	s.expireLocked()
+	s.sessSeq++
+	id := SessionID(s.sessSeq)
+	s.sessions[id] = &session{ttl: ttl, deadline: s.now().Add(ttl), eph: make(map[string]struct{})}
+	s.janitorOnce.Do(func() { go s.janitor() })
+	return id, nil
+}
+
+// Heartbeat renews a session's lease. An expired or unknown session
+// returns ErrNoSession; the holder must open a new session and re-create
+// its ephemerals.
+func (s *Store) Heartbeat(id SessionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	s.expireLocked()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	sess.deadline = s.now().Add(sess.ttl)
+	return nil
+}
+
+// CloseSession ends a session gracefully, deleting its ephemerals (and
+// firing their watches) immediately rather than after the TTL.
+func (s *Store) CloseSession(id SessionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	s.reapLocked(id, sess)
+	return nil
+}
+
+// CreateEphemeral adds a node tied to a session: it disappears (firing
+// deletion watches) when the session expires or closes. Ephemerals
+// cannot have children.
+func (s *Store) CreateEphemeral(path string, data []byte, owner SessionID) (int64, error) {
+	if !validPath(path) || path == "/" {
+		return 0, ErrBadPath
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrStoreClosed
+	}
+	s.expireLocked()
+	sess, ok := s.sessions[owner]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSession, owner)
+	}
+	v, err := s.createLocked(path, data)
+	if err != nil {
+		return v, err
+	}
+	s.nodes[path].owner = owner
+	sess.eph[path] = struct{}{}
+	return v, nil
+}
+
+// ExpireSessions reaps every session past its deadline right now and
+// returns how many were expired. Chaos tests drive this directly (with
+// SetClock) for deterministic expiry; production relies on the janitor
+// and on lazy expiry during normal operations.
+func (s *Store) ExpireSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	return s.expireLocked()
+}
+
+// SetClock replaces the store's time source (default time.Now) so tests
+// can advance session deadlines without sleeping.
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// SessionStats reports live session count and total expiries.
+func (s *Store) SessionStats() (live int, expired uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions), s.sessExpired
+}
+
+// expireLocked reaps sessions whose deadline has passed; callers hold
+// s.mu. Returns the number of sessions expired.
+func (s *Store) expireLocked() int {
+	if len(s.sessions) == 0 {
+		return 0
+	}
+	now := s.now()
+	var dead []SessionID
+	for id, sess := range s.sessions {
+		if sess.deadline.Before(now) {
+			dead = append(dead, id)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		s.reapLocked(id, s.sessions[id])
+		s.sessExpired++
+	}
+	return len(dead)
+}
+
+// reapLocked deletes a session and its ephemerals, firing deletion
+// events; callers hold s.mu.
+func (s *Store) reapLocked(id SessionID, sess *session) {
+	paths := make([]string, 0, len(sess.eph))
+	for p := range sess.eph {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if n, ok := s.nodes[p]; ok && n.owner == id {
+			delete(s.nodes, p)
+			s.appendEvent(EventDeleted, p, nil, n.version)
+		}
+	}
+	delete(s.sessions, id)
+}
+
+// janitor sweeps expired sessions in the background so watches fire
+// within a TTL even on an otherwise idle store. Started lazily by the
+// first CreateSession; stopped by Close.
+func (s *Store) janitor() {
+	t := time.NewTicker(janitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.ExpireSessions()
+		}
+	}
+}
+
+// --- client-side session keeper ------------------------------------------
+
+// Session maintains a liveness session against any Coordinator: a
+// background loop heartbeats at TTL/3 and, if the session expires anyway
+// (e.g. heartbeats were partitioned away past the TTL), transparently
+// opens a replacement so the next Publish re-creates the ephemerals.
+type Session struct {
+	co  Coordinator
+	ttl time.Duration
+
+	mu      sync.Mutex
+	id      SessionID
+	expired uint64
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// OpenSession creates a session with the given TTL and starts its
+// heartbeat loop.
+func OpenSession(co Coordinator, ttl time.Duration) (*Session, error) {
+	id, err := co.CreateSession(ttl)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{co: co, ttl: ttl, id: id, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go s.heartbeatLoop()
+	return s, nil
+}
+
+// ID returns the current session ID (it changes after a re-establish).
+func (s *Session) ID() SessionID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
+
+// Expirations counts how many times the session was lost and re-opened.
+func (s *Session) Expirations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}
+
+// Publish upserts an ephemeral node under the current session: the
+// worker's periodic stats call lands here, so a node lost to an expiry
+// reappears on the next tick — exactly the Zookeeper re-register dance.
+func (s *Session) Publish(path string, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := s.co.Set(path, data, AnyVersion); err == nil {
+			return nil
+		} else if !errors.Is(err, ErrNoNode) {
+			return err
+		}
+		id := s.ID()
+		_, err := s.co.CreateEphemeral(path, data, id)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrNodeExists):
+			lastErr = err // raced with another creator; Set wins next round
+		case errors.Is(err, ErrNoSession):
+			lastErr = err
+			if rerr := s.reestablish(id); rerr != nil {
+				return rerr
+			}
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("coord: publish %s: %w", path, lastErr)
+}
+
+// Close stops heartbeating and closes the session on the coordinator,
+// deleting its ephemerals immediately (graceful deregistration).
+func (s *Session) Close() error {
+	s.Abandon()
+	return s.co.CloseSession(s.ID())
+}
+
+// Abandon stops the heartbeat loop without closing the session on the
+// coordinator: the session then expires after its TTL, exactly as if
+// the owning process had crashed. Chaos tests use this to simulate
+// worker death deterministically.
+func (s *Session) Abandon() {
+	s.stopped.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// reestablish swaps in a fresh session if the given one is still
+// current; concurrent callers agree on the winner.
+func (s *Session) reestablish(old SessionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.id != old {
+		return nil // someone else already re-opened it
+	}
+	id, err := s.co.CreateSession(s.ttl)
+	if err != nil {
+		return err
+	}
+	s.id = id
+	s.expired++
+	return nil
+}
+
+// heartbeatLoop renews the lease at TTL/3 until Abandon/Close.
+func (s *Session) heartbeatLoop() {
+	defer s.wg.Done()
+	interval := s.ttl / 3
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			id := s.ID()
+			switch err := s.co.Heartbeat(id); {
+			case err == nil:
+			case errors.Is(err, ErrNoSession):
+				// Expired underneath us (dropped heartbeats, partition):
+				// open a replacement so the next Publish can re-register.
+				_ = s.reestablish(id)
+			case errors.Is(err, ErrStoreClosed):
+				return
+			default:
+				// Transient transport failure; try again next tick.
+			}
+		}
+	}
+}

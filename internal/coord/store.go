@@ -75,6 +75,7 @@ const maxEventLog = 1 << 16
 type znode struct {
 	data    []byte
 	version int64
+	owner   SessionID // nonzero = ephemeral, deleted with its session
 }
 
 // Store is the in-memory coordination tree. It is safe for concurrent
@@ -88,6 +89,15 @@ type Store struct {
 	closed bool
 	change *sync.Cond
 
+	// liveness sessions (under mu)
+	sessions    map[SessionID]*session
+	sessSeq     uint64
+	sessExpired uint64
+	now         func() time.Time // injectable clock for deterministic tests
+	janitorOnce sync.Once
+	janitorStop chan struct{}
+	stopOnce    sync.Once
+
 	// observability counters (under mu)
 	watchFires      uint64 // EventsSince calls that delivered events
 	eventsDelivered uint64 // total events handed to watchers
@@ -95,13 +105,20 @@ type Store struct {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	s := &Store{nodes: make(map[string]*znode)}
+	s := &Store{
+		nodes:       make(map[string]*znode),
+		sessions:    make(map[SessionID]*session),
+		now:         time.Now,
+		janitorStop: make(chan struct{}),
+	}
 	s.change = sync.NewCond(&s.mu)
 	return s
 }
 
-// Close wakes all blocked watchers with ErrStoreClosed.
+// Close wakes all blocked watchers with ErrStoreClosed and stops the
+// session janitor.
 func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.janitorStop) })
 	s.mu.Lock()
 	s.closed = true
 	s.change.Broadcast()
@@ -152,10 +169,25 @@ func (s *Store) Create(path string, data []byte) (int64, error) {
 	if s.closed {
 		return 0, ErrStoreClosed
 	}
+	s.expireLocked()
+	return s.createLocked(path, data)
+}
+
+// createLocked is Create's core; callers hold s.mu and have validated
+// the path.
+func (s *Store) createLocked(path string, data []byte) (int64, error) {
 	if _, ok := s.nodes[path]; ok {
 		return 0, fmt.Errorf("%w: %s", ErrNodeExists, path)
 	}
-	// Implicit parents.
+	// Implicit parents; an ephemeral ancestor makes the path invalid.
+	for p := parentOf(path); p != "/" && p != ""; p = parentOf(p) {
+		if n, ok := s.nodes[p]; ok {
+			if n.owner != 0 {
+				return 0, fmt.Errorf("%w: %s under %s", ErrEphemeral, path, p)
+			}
+			break
+		}
+	}
 	for p := parentOf(path); p != "/" && p != ""; p = parentOf(p) {
 		if _, ok := s.nodes[p]; ok {
 			break
@@ -179,6 +211,7 @@ func (s *Store) Set(path string, data []byte, expected int64) (int64, error) {
 	if s.closed {
 		return 0, ErrStoreClosed
 	}
+	s.expireLocked()
 	n, ok := s.nodes[path]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoNode, path)
@@ -210,6 +243,9 @@ func (s *Store) Get(path string) ([]byte, int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		s.expireLocked()
+	}
 	n, ok := s.nodes[path]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNoNode, path)
@@ -221,6 +257,9 @@ func (s *Store) Get(path string) ([]byte, int64, error) {
 func (s *Store) Exists(path string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		s.expireLocked()
+	}
 	_, ok := s.nodes[path]
 	return ok
 }
@@ -236,6 +275,9 @@ func (s *Store) Children(path string) ([]string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		s.expireLocked()
+	}
 	var names []string
 	for p := range s.nodes {
 		if !strings.HasPrefix(p, prefix) {
@@ -261,6 +303,7 @@ func (s *Store) Delete(path string, expected int64) error {
 	if s.closed {
 		return ErrStoreClosed
 	}
+	s.expireLocked()
 	n, ok := s.nodes[path]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoNode, path)
@@ -274,6 +317,11 @@ func (s *Store) Delete(path string, expected int64) error {
 			return fmt.Errorf("coord: %s has children", path)
 		}
 	}
+	if n.owner != 0 {
+		if sess, ok := s.sessions[n.owner]; ok {
+			delete(sess.eph, path)
+		}
+	}
 	delete(s.nodes, path)
 	s.appendEvent(EventDeleted, path, nil, n.version)
 	return nil
@@ -284,6 +332,9 @@ func (s *Store) Delete(path string, expected int64) error {
 func (s *Store) Snapshot(prefix string) (map[string][]byte, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		s.expireLocked()
+	}
 	out := make(map[string][]byte)
 	for p, n := range s.nodes {
 		if matchesPrefix(p, prefix) {
@@ -319,6 +370,7 @@ func (s *Store) EventsSince(since uint64, prefix string, limit int, timeout time
 		if s.closed {
 			return nil, since, ErrStoreClosed
 		}
+		s.expireLocked()
 		if len(s.events) > 0 && since+1 < s.first {
 			return nil, s.seq, ErrCompacted
 		}
@@ -374,6 +426,14 @@ func (s *Store) RegisterMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("coord_nodes", func() float64 {
 		_, _, _, n := s.WatchStats()
 		return float64(n)
+	})
+	reg.GaugeFunc("coord_sessions", func() float64 {
+		live, _ := s.SessionStats()
+		return float64(live)
+	})
+	reg.CounterFunc("coord_sessions_expired_total", func() uint64 {
+		_, expired := s.SessionStats()
+		return expired
 	})
 }
 

@@ -46,6 +46,14 @@ func ParseShardPath(path string) (ShardID, bool) {
 	return ShardID(v), true
 }
 
+// ParseWorkerPath extracts the worker ID from a worker metadata path.
+func ParseWorkerPath(path string) (string, bool) {
+	if len(path) <= len(PathWorkers)+1 || path[:len(PathWorkers)+1] != PathWorkers+"/" {
+		return "", false
+	}
+	return path[len(PathWorkers)+1:], true
+}
+
 // ShardID identifies a shard globally.
 type ShardID uint64
 

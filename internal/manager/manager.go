@@ -41,6 +41,9 @@ type Options struct {
 	// Metrics receives the manager's instrumentation. When nil the
 	// manager creates a private registry (reachable via Metrics()).
 	Metrics *metrics.Registry
+	// Fault, when non-nil, intercepts the manager's worker RPCs for
+	// chaos testing.
+	Fault *netmsg.FaultInjector
 }
 
 // Stats counts the manager's balancing activity (Figure 6 reports these
@@ -83,7 +86,9 @@ type Manager struct {
 	mu     sync.Mutex
 	conns  map[string]*netmsg.Client
 	stats  Stats
-	events []Event // ring, newest last
+	events []Event         // ring, newest last
+	dead   map[string]bool // workers registered but unreachable last observe
+	skips  uint64          // balancing decisions that excluded a dead worker
 
 	reg *metrics.Registry
 
@@ -113,12 +118,40 @@ func New(opts Options) (*Manager, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	m := &Manager{opts: opts, conns: make(map[string]*netmsg.Client), stop: make(chan struct{}), reg: reg}
+	m := &Manager{
+		opts:  opts,
+		conns: make(map[string]*netmsg.Client),
+		dead:  make(map[string]bool),
+		stop:  make(chan struct{}),
+		reg:   reg,
+	}
 	reg.CounterFunc("manager_passes_total", func() uint64 { return m.Stats().Passes })
 	reg.CounterFunc("manager_splits_total", func() uint64 { return m.Stats().Splits })
 	reg.CounterFunc("manager_migrations_total", func() uint64 { return m.Stats().Migrations })
 	reg.CounterFunc("manager_moved_items_total", func() uint64 { return m.Stats().MovedItems })
+	reg.GaugeFunc("manager_dead_workers", func() float64 { return float64(len(m.DeadWorkers())) })
+	reg.CounterFunc("manager_dead_worker_skips_total", func() uint64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.skips
+	})
 	return m, nil
+}
+
+// DeadWorkers lists workers that were registered in the image but did
+// not answer the last observation (sorted). They are excluded from
+// every balancing plan until they answer again.
+func (m *Manager) DeadWorkers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.dead))
+	for id, d := range m.dead {
+		if d {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Metrics returns the manager's registry (opts.Metrics or a private one).
@@ -187,7 +220,13 @@ func (m *Manager) client(addr string) (*netmsg.Client, error) {
 	if c, ok := m.conns[addr]; ok {
 		return c, nil
 	}
-	c, err := netmsg.Dial(addr)
+	c, err := netmsg.DialOptions(addr, netmsg.DialOpts{
+		// Bound observation RPCs so one wedged worker cannot stall a
+		// whole balancing pass.
+		DefaultTimeout: 5 * time.Second,
+		Fault:          m.opts.Fault,
+		Party:          "manager",
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -200,10 +239,14 @@ type workerView struct {
 	meta   *image.WorkerMeta
 	shards map[image.ShardID]uint64 // live per-shard counts
 	load   uint64
+	alive  bool // the worker answered this pass's shardcounts probe
 }
 
 // observe builds the cluster picture: worker metadata from the global
-// image plus live per-shard counts straight from the workers.
+// image plus live per-shard counts straight from the workers. A worker
+// that is registered but does not answer is kept in the view with
+// alive=false: without the flag its empty count map would read as load
+// zero and make the corpse the preferred migration recipient.
 func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.ShardMeta, error) {
 	co := m.opts.Coord
 	names, err := co.Children(image.PathWorkers)
@@ -225,6 +268,7 @@ func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.Sh
 			if resp, err := c.Request("worker.shardcounts", nil); err == nil {
 				if counts, err := worker.DecodeShardCounts(resp); err == nil {
 					v.shards = counts
+					v.alive = true
 				}
 			}
 		}
@@ -233,6 +277,14 @@ func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.Sh
 		}
 		views[meta.ID] = v
 	}
+	m.mu.Lock()
+	m.dead = make(map[string]bool, len(views))
+	for id, v := range views {
+		if !v.alive {
+			m.dead[id] = true
+		}
+	}
+	m.mu.Unlock()
 
 	shardNames, err := co.Children(image.PathShards)
 	if err != nil {
@@ -287,7 +339,7 @@ func (m *Manager) balanceOnce(views map[string]*workerView, shards map[image.Sha
 	if m.opts.MaxShardItems > 0 {
 		for id, meta := range shards {
 			v := views[meta.Worker]
-			if v == nil {
+			if v == nil || !v.alive {
 				continue
 			}
 			if n := v.shards[id]; n > m.opts.MaxShardItems {
@@ -296,15 +348,27 @@ func (m *Manager) balanceOnce(views map[string]*workerView, shards map[image.Sha
 		}
 	}
 
-	// Identify donor (max load) and recipient (min load).
+	// Identify donor (max load) and recipient (min load). Dead workers
+	// can be neither: a donor cannot ship shards and a recipient would
+	// swallow them.
 	var donor, recipient *workerView
+	skipped := 0
 	for _, v := range views {
+		if !v.alive {
+			skipped++
+			continue
+		}
 		if donor == nil || v.load > donor.load {
 			donor = v
 		}
 		if recipient == nil || v.load < recipient.load {
 			recipient = v
 		}
+	}
+	if skipped > 0 {
+		m.mu.Lock()
+		m.skips += uint64(skipped)
+		m.mu.Unlock()
 	}
 	if donor == nil || recipient == nil || donor == recipient {
 		return false, nil
@@ -495,13 +559,13 @@ func (m *Manager) DrainWorker(workerID string) (int, error) {
 		if src == nil {
 			return moved, fmt.Errorf("manager: unknown worker %q", workerID)
 		}
+		if !src.alive {
+			return moved, fmt.Errorf("manager: worker %q is down, cannot drain", workerID)
+		}
 		if len(src.shards) == 0 {
 			return moved, nil
 		}
-		if len(views) < 2 {
-			return moved, errors.New("manager: no other worker to drain to")
-		}
-		// Pick the largest remaining shard and the least-loaded peer.
+		// Pick the largest remaining shard and the least-loaded live peer.
 		var shard image.ShardID
 		var shardN uint64
 		first := true
@@ -512,12 +576,15 @@ func (m *Manager) DrainWorker(workerID string) (int, error) {
 		}
 		var dst *workerView
 		for id, v := range views {
-			if id == workerID {
+			if id == workerID || !v.alive {
 				continue
 			}
 			if dst == nil || v.load < dst.load {
 				dst = v
 			}
+		}
+		if dst == nil {
+			return moved, errors.New("manager: no live worker to drain to")
 		}
 		if err := m.migrateShard(src, dst, shard); err != nil {
 			return moved, err

@@ -1,0 +1,296 @@
+package netmsg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrInjected marks an error produced by a FaultInjector rather than a
+// real transport failure. Tests can assert on it; production code never
+// sees it because injectors are only wired up explicitly.
+var ErrInjected = errors.New("netmsg: injected fault")
+
+// FaultAction is what an injector decides to do with one frame or dial.
+type FaultAction uint8
+
+const (
+	// FaultPass lets the frame through untouched.
+	FaultPass FaultAction = iota
+	// FaultDrop silently discards the frame. A dropped request or
+	// response surfaces to the caller as a deadline expiry; a dropped
+	// dial reports a connection failure.
+	FaultDrop
+	// FaultDelay holds the frame for the rule's Delay before passing it.
+	FaultDelay
+	// FaultDuplicate delivers the frame twice (dials and responses are
+	// passed through once; duplication is meaningful for requests).
+	FaultDuplicate
+	// FaultSever closes the underlying connection. The client's next
+	// request reconnects; in-flight requests fail with ErrConnLost.
+	FaultSever
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case FaultPass:
+		return "pass"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultSever:
+		return "sever"
+	}
+	return fmt.Sprintf("action(%d)", a)
+}
+
+// FaultKind says where in the message path a fault point sits.
+type FaultKind uint8
+
+const (
+	// KindAny matches every kind (the zero value, for rules).
+	KindAny FaultKind = iota
+	// KindDial is a client connection attempt.
+	KindDial
+	// KindRequest is a request frame (client write, or server read
+	// dispatch on the serving side).
+	KindRequest
+	// KindResponse is a response or error frame.
+	KindResponse
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case KindAny:
+		return "any"
+	case KindDial:
+		return "dial"
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// FaultPoint identifies one interception site: which labeled endpoint
+// (Party) is talking to which peer address, on which operation, at which
+// stage. Response frames on the client side carry the op "" (the frame
+// header only repeats the op on errors), so rules that must match
+// responses should match by Party/Peer.
+type FaultPoint struct {
+	Party string
+	Peer  string
+	Op    string
+	Kind  FaultKind
+}
+
+// FaultRule matches fault points and prescribes an action. Empty string
+// fields and KindAny match everything, so the zero rule plus an Action
+// applies to all traffic of the endpoint it is installed on.
+type FaultRule struct {
+	Party string // "" = any party label
+	Peer  string // "" = any peer address
+	Op    string // "" = any operation
+	Kind  FaultKind
+
+	Action FaultAction
+	Delay  time.Duration // used by FaultDelay
+	// Prob applies the rule with this probability (seeded RNG); 0 means
+	// always. Use Count, not Prob, when a test needs determinism.
+	Prob float64
+	// Count limits how many times the rule fires before exhausting
+	// itself; 0 means unlimited. Exhausted rules stop matching, which
+	// gives tests "sever exactly the first request" style determinism.
+	Count int
+}
+
+func (r *FaultRule) matches(p FaultPoint) bool {
+	if r.Party != "" && r.Party != p.Party {
+		return false
+	}
+	if r.Peer != "" && r.Peer != p.Peer {
+		return false
+	}
+	if r.Op != "" && r.Op != p.Op {
+		return false
+	}
+	if r.Kind != KindAny && r.Kind != p.Kind {
+		return false
+	}
+	return true
+}
+
+type activeRule struct {
+	FaultRule
+	remaining int // applications left; <0 = unlimited
+}
+
+// FaultInjector decides, per frame and per dial, whether to drop, delay,
+// duplicate, or sever. One injector is typically shared by every
+// endpoint under test (clients via DialOpts.Fault, servers via
+// Server.SetFaults) so a single Partition call cuts both directions.
+//
+// All methods are safe for concurrent use. Decisions draw from a seeded
+// RNG, so a fixed seed plus Count-limited rules gives fully
+// deterministic fault schedules.
+type FaultInjector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*activeRule
+	parts map[[2]string]struct{}
+	hook  func(FaultPoint, FaultAction)
+
+	drops      atomic.Uint64
+	delays     atomic.Uint64
+	duplicates atomic.Uint64
+	severs     atomic.Uint64
+}
+
+// NewFaultInjector returns an injector whose probabilistic decisions are
+// driven by the given seed.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{
+		rng:   rand.New(rand.NewSource(seed)),
+		parts: make(map[[2]string]struct{}),
+	}
+}
+
+// Add installs a rule and returns a function that removes it again.
+func (f *FaultInjector) Add(r FaultRule) (cancel func()) {
+	ar := &activeRule{FaultRule: r, remaining: -1}
+	if r.Count > 0 {
+		ar.remaining = r.Count
+	}
+	f.mu.Lock()
+	f.rules = append(f.rules, ar)
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		for i, got := range f.rules {
+			if got == ar {
+				f.rules = append(f.rules[:i], f.rules[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Partition severs the pair (a, b): every dial and frame between a party
+// labeled a and peer address b (or vice versa) is cut until Heal. Either
+// side may be a party label or a peer address; matching is symmetric.
+func (f *FaultInjector) Partition(a, b string) {
+	f.mu.Lock()
+	f.parts[[2]string{a, b}] = struct{}{}
+	f.mu.Unlock()
+}
+
+// Heal removes a partition installed by Partition.
+func (f *FaultInjector) Heal(a, b string) {
+	f.mu.Lock()
+	delete(f.parts, [2]string{a, b})
+	delete(f.parts, [2]string{b, a})
+	f.mu.Unlock()
+}
+
+// SetHook installs a callback invoked (outside the injector's lock) for
+// every non-pass decision. Tests use it to synchronize on "the fault has
+// actually fired" instead of sleeping.
+func (f *FaultInjector) SetHook(fn func(FaultPoint, FaultAction)) {
+	f.mu.Lock()
+	f.hook = fn
+	f.mu.Unlock()
+}
+
+// RegisterMetrics exposes the injector's counters on reg:
+// netmsg_faults_injected_total plus per-action
+// netmsg_faults_{dropped,delayed,duplicated,severed}_total.
+func (f *FaultInjector) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("netmsg_faults_injected_total", f.InjectedTotal)
+	reg.CounterFunc("netmsg_faults_dropped_total", f.drops.Load)
+	reg.CounterFunc("netmsg_faults_delayed_total", f.delays.Load)
+	reg.CounterFunc("netmsg_faults_duplicated_total", f.duplicates.Load)
+	reg.CounterFunc("netmsg_faults_severed_total", f.severs.Load)
+}
+
+// InjectedTotal reports how many faults (all actions) have fired.
+func (f *FaultInjector) InjectedTotal() uint64 {
+	return f.drops.Load() + f.delays.Load() + f.duplicates.Load() + f.severs.Load()
+}
+
+// partitionedLocked reports whether the (party, peer) pair is cut.
+func (f *FaultInjector) partitionedLocked(party, peer string) bool {
+	if _, ok := f.parts[[2]string{party, peer}]; ok {
+		return true
+	}
+	_, ok := f.parts[[2]string{peer, party}]
+	return ok
+}
+
+// act decides what happens at one fault point. It records the decision
+// in the counters and fires the hook for anything but FaultPass.
+func (f *FaultInjector) act(p FaultPoint) (FaultAction, time.Duration) {
+	if f == nil {
+		return FaultPass, 0
+	}
+	f.mu.Lock()
+	action, delay := FaultPass, time.Duration(0)
+	if f.partitionedLocked(p.Party, p.Peer) {
+		action = FaultSever
+	} else {
+		for _, r := range f.rules {
+			if r.remaining == 0 || !r.matches(p) {
+				continue
+			}
+			if r.Prob > 0 && f.rng.Float64() >= r.Prob {
+				continue
+			}
+			if r.remaining > 0 {
+				r.remaining--
+			}
+			action, delay = r.Action, r.Delay
+			break
+		}
+	}
+	hook := f.hook
+	f.mu.Unlock()
+
+	switch action {
+	case FaultPass:
+		return FaultPass, 0
+	case FaultDrop:
+		f.drops.Add(1)
+	case FaultDelay:
+		f.delays.Add(1)
+	case FaultDuplicate:
+		f.duplicates.Add(1)
+	case FaultSever:
+		f.severs.Add(1)
+	}
+	if hook != nil {
+		hook(p, action)
+	}
+	return action, delay
+}
+
+// dial applies the injector to a connection attempt; a non-nil error
+// means the dial must fail without touching the network.
+func (f *FaultInjector) dial(party, addr string) error {
+	action, delay := f.act(FaultPoint{Party: party, Peer: addr, Kind: KindDial})
+	switch action {
+	case FaultDelay:
+		time.Sleep(delay)
+	case FaultDrop, FaultSever:
+		return fmt.Errorf("%w: dial %s blocked for %q", ErrInjected, addr, party)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package netmsg
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// dialFaulty connects to addr with the injector under the given party
+// label and a short default deadline so drop-induced timeouts are quick.
+func dialFaulty(t *testing.T, addr string, f *FaultInjector, party string) *Client {
+	t.Helper()
+	c, err := DialOptions(addr, DialOpts{
+		DefaultTimeout: 500 * time.Millisecond,
+		Fault:          f,
+		Party:          party,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestFaultDropRequest checks a dropped request surfaces as a deadline
+// expiry, the drop is counted, and — the rule being Count-limited — the
+// next request goes through untouched.
+func TestFaultDropRequest(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	f.Add(FaultRule{Op: "echo", Kind: KindRequest, Action: FaultDrop, Count: 1})
+	c := dialFaulty(t, addr, f, "client")
+
+	if _, err := c.Request("echo", []byte("x")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped request err = %v, want ErrTimeout", err)
+	}
+	if got := f.InjectedTotal(); got != 1 {
+		t.Fatalf("injected total = %d, want 1", got)
+	}
+	resp, err := c.Request("echo", []byte("again"))
+	if err != nil {
+		t.Fatalf("post-exhaustion request: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("again")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestFaultSeverThenReconnect checks the reconnect contract: a severed
+// request fails with ErrConnLost (marked ErrInjected), and the very next
+// request re-dials and succeeds without any explicit recovery step.
+func TestFaultSeverThenReconnect(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	f.Add(FaultRule{Kind: KindRequest, Action: FaultSever, Count: 1})
+	c := dialFaulty(t, addr, f, "client")
+
+	_, err := c.Request("echo", []byte("x"))
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("severed request err = %v, want ErrConnLost", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("severed request err = %v, want ErrInjected marker", err)
+	}
+	resp, err := c.Request("echo", []byte("back"))
+	if err != nil {
+		t.Fatalf("reconnect request: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("back")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestFaultDuplicateRequest checks a duplicated request reaches the
+// handler twice while the caller still sees exactly one reply.
+func TestFaultDuplicateRequest(t *testing.T) {
+	var calls atomic.Int64
+	s := NewServer()
+	s.Handle("count", func(_ context.Context, p []byte) ([]byte, error) {
+		calls.Add(1)
+		return p, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	f := NewFaultInjector(1)
+	f.Add(FaultRule{Op: "count", Kind: KindRequest, Action: FaultDuplicate, Count: 1})
+	c := dialFaulty(t, addr, f, "client")
+
+	if _, err := c.Request("count", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate dispatch is concurrent with the reply; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("handler calls = %d, want 2", got)
+	}
+}
+
+// TestFaultDelayRequest checks a delayed frame arrives late but intact.
+func TestFaultDelayRequest(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	const hold = 50 * time.Millisecond
+	f.Add(FaultRule{Op: "echo", Kind: KindRequest, Action: FaultDelay, Delay: hold, Count: 1})
+	c := dialFaulty(t, addr, f, "client")
+
+	start := time.Now()
+	resp, err := c.Request("echo", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("x")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if took := time.Since(start); took < hold {
+		t.Fatalf("delayed request took %v, want >= %v", took, hold)
+	}
+}
+
+// TestFaultServerSide checks injection on the serving side: a server
+// that drops one incoming request makes the client time out, then
+// service resumes.
+func TestFaultServerSide(t *testing.T) {
+	f := NewFaultInjector(1)
+	s := NewServer()
+	s.SetFaults(f, "server")
+	s.Handle("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	f.Add(FaultRule{Party: "server", Op: "echo", Kind: KindRequest, Action: FaultDrop, Count: 1})
+
+	c := dialFaulty(t, addr, nil, "")
+	if _, err := c.Request("echo", []byte("x")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("server-dropped request err = %v, want ErrTimeout", err)
+	}
+	if _, err := c.Request("echo", []byte("y")); err != nil {
+		t.Fatalf("after exhaustion: %v", err)
+	}
+}
+
+// TestPartitionAndHeal checks Partition cuts both the live connection and
+// re-dials until Heal restores the pair.
+func TestPartitionAndHeal(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	c := dialFaulty(t, addr, f, "client")
+
+	if _, err := c.Request("echo", []byte("pre")); err != nil {
+		t.Fatalf("before partition: %v", err)
+	}
+	f.Partition("client", addr)
+	_, err := c.Request("echo", []byte("cut"))
+	if err == nil {
+		t.Fatal("request across partition succeeded")
+	}
+	// The first attempt severs the live connection; a retry must fail at
+	// dial time without reaching the server.
+	if _, err := c.Request("echo", []byte("cut2")); err == nil {
+		t.Fatal("re-dial across partition succeeded")
+	}
+	f.Heal("client", addr)
+	resp, err := c.Request("echo", []byte("post"))
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("post")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestFaultRuleCancel checks a removed rule stops firing.
+func TestFaultRuleCancel(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	cancel := f.Add(FaultRule{Op: "echo", Kind: KindRequest, Action: FaultDrop})
+	cancel()
+	c := dialFaulty(t, addr, f, "client")
+	if _, err := c.Request("echo", []byte("x")); err != nil {
+		t.Fatalf("request after rule cancel: %v", err)
+	}
+	if got := f.InjectedTotal(); got != 0 {
+		t.Fatalf("injected total = %d, want 0", got)
+	}
+}
+
+// TestFaultHookAndMetrics checks the hook fires per decision and the
+// counters land in the Prometheus export.
+func TestFaultHookAndMetrics(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	fired := make(chan FaultPoint, 4)
+	f.SetHook(func(p FaultPoint, a FaultAction) {
+		if a != FaultDrop {
+			t.Errorf("hook action = %v, want drop", a)
+		}
+		fired <- p
+	})
+	reg := metrics.NewRegistry()
+	f.RegisterMetrics(reg)
+	f.Add(FaultRule{Op: "echo", Kind: KindRequest, Action: FaultDrop, Count: 1})
+	c := dialFaulty(t, addr, f, "client")
+
+	if _, err := c.Request("echo", []byte("x")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	select {
+	case p := <-fired:
+		if p.Op != "echo" || p.Kind != KindRequest || p.Party != "client" {
+			t.Fatalf("hook point = %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hook never fired")
+	}
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"netmsg_faults_injected_total 1",
+		"netmsg_faults_dropped_total 1",
+		"netmsg_faults_severed_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultDialBlocked checks Drop rules on the dial point fail
+// connection attempts without touching the network.
+func TestFaultDialBlocked(t *testing.T) {
+	_, addr := startEcho(t, "127.0.0.1:0")
+	f := NewFaultInjector(1)
+	f.Add(FaultRule{Kind: KindDial, Action: FaultDrop})
+	if _, err := DialOptions(addr, DialOpts{Fault: f, Party: "client"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("blocked dial err = %v, want ErrInjected", err)
+	}
+}
+
+// TestFaultRuleMatching exercises the rule matcher's field semantics.
+func TestFaultRuleMatching(t *testing.T) {
+	cases := []struct {
+		name  string
+		rule  FaultRule
+		point FaultPoint
+		want  bool
+	}{
+		{"zero rule matches all", FaultRule{}, FaultPoint{Party: "a", Peer: "b", Op: "c", Kind: KindRequest}, true},
+		{"party mismatch", FaultRule{Party: "x"}, FaultPoint{Party: "a"}, false},
+		{"op match", FaultRule{Op: "c"}, FaultPoint{Op: "c", Kind: KindResponse}, true},
+		{"kind mismatch", FaultRule{Kind: KindDial}, FaultPoint{Kind: KindRequest}, false},
+		{"peer match", FaultRule{Peer: "b"}, FaultPoint{Peer: "b"}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.rule.matches(tc.point); got != tc.want {
+			t.Errorf("%s: matches = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNilInjectorPasses checks the nil receiver contract every call site
+// relies on.
+func TestNilInjectorPasses(t *testing.T) {
+	var f *FaultInjector
+	if a, _ := f.act(FaultPoint{Op: "x"}); a != FaultPass {
+		t.Fatalf("nil injector action = %v, want pass", a)
+	}
+}

@@ -1,0 +1,67 @@
+package netmsg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip checks every encodable frame decodes back to
+// itself. This target caught the u16 op-length truncation: an op longer
+// than 65535 bytes used to encode a wrong length and desynchronize the
+// stream; writeFrame now rejects it.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(0), byte(frameRequest), "echo", []byte("payload"))
+	f.Add(uint64(0), uint64(42), byte(frameResponse), "", []byte{})
+	f.Add(uint64(1<<63), uint64(1), byte(frameError), "server.query", []byte("boom"))
+	f.Add(uint64(7), uint64(7), byte(250), "op\x00with\xffbytes", []byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, corrID, traceID uint64, ftype byte, op string, payload []byte) {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, corrID, traceID, ftype, op, payload); err != nil {
+			if len(op) <= 1<<16-1 && 19+len(op)+len(payload) <= MaxFrame {
+				t.Fatalf("writeFrame rejected an encodable frame: %v", err)
+			}
+			return // correctly rejected: op or body over the header limits
+		}
+		gotCorr, gotTrace, gotType, gotOp, gotPayload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame(writeFrame(...)): %v", err)
+		}
+		if gotCorr != corrID || gotTrace != traceID || gotType != ftype || gotOp != op {
+			t.Fatalf("header round-trip: got (%d,%d,%d,%q) want (%d,%d,%d,%q)",
+				gotCorr, gotTrace, gotType, gotOp, corrID, traceID, ftype, op)
+		}
+		if !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("payload round-trip: got %q want %q", gotPayload, payload)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d bytes left after one frame", buf.Len())
+		}
+	})
+}
+
+// FuzzFrameDecode throws arbitrary bytes at the frame reader: it must
+// reject or parse them without panicking or over-allocating, and
+// anything it parses must re-encode to a decodable frame.
+func FuzzFrameDecode(f *testing.F) {
+	// A valid frame, a truncated header, an undersized body length, and
+	// an op length pointing past the body.
+	var valid bytes.Buffer
+	_ = writeFrame(&valid, 3, 9, frameRequest, "echo", []byte("hi"))
+	f.Add(valid.Bytes())
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{5, 0, 0, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{19, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		corrID, traceID, ftype, op, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, corrID, traceID, ftype, op, payload); err != nil {
+			t.Fatalf("re-encoding a decoded frame failed: %v", err)
+		}
+		if _, _, _, op2, _, err := readFrame(&buf); err != nil || op2 != op {
+			t.Fatalf("second decode: op %q err %v", op2, err)
+		}
+	})
+}

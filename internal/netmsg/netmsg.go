@@ -157,6 +157,9 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 	conns    map[net.Conn]struct{}
+
+	fault *FaultInjector
+	party string
 }
 
 // NewServer returns a server with no handlers registered.
@@ -169,6 +172,16 @@ func NewServer() *Server {
 func (s *Server) Handle(op string, h Handler) {
 	s.mu.Lock()
 	s.handlers[op] = h
+	s.mu.Unlock()
+}
+
+// SetFaults attaches a fault injector to the serving side under the
+// given party label. Incoming requests and outgoing responses pass
+// through the injector. Call before Listen; a nil injector disables
+// injection.
+func (s *Server) SetFaults(f *FaultInjector, party string) {
+	s.mu.Lock()
+	s.fault, s.party = f, party
 	s.mu.Unlock()
 }
 
@@ -238,6 +251,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	var writeMu sync.Mutex
+	s.mu.RLock()
+	fault, party := s.fault, s.party
+	s.mu.RUnlock()
+	peer := conn.RemoteAddr().String()
 	for {
 		corrID, traceID, ftype, op, payload, err := readFrame(conn)
 		if err != nil {
@@ -246,31 +263,59 @@ func (s *Server) serveConn(conn net.Conn) {
 		if ftype != frameRequest {
 			continue // servers only consume requests
 		}
+		dispatch := 1
+		if fault != nil {
+			action, delay := fault.act(FaultPoint{Party: party, Peer: peer, Op: op, Kind: KindRequest})
+			switch action {
+			case FaultDrop:
+				continue // swallow the request; the client times out
+			case FaultSever:
+				return // defer closes the connection
+			case FaultDelay:
+				time.Sleep(delay)
+			case FaultDuplicate:
+				dispatch = 2
+			}
+		}
 		s.mu.RLock()
 		h := s.handlers[op]
 		s.mu.RUnlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			ctx := context.Background()
-			if traceID != 0 {
-				ctx = WithTraceID(ctx, traceID)
-			}
-			var resp []byte
-			var herr error
-			if h == nil {
-				herr = fmt.Errorf("unknown operation %q", op)
-			} else {
-				resp, herr = h(ctx, payload)
-			}
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			if herr != nil {
-				_ = writeFrame(conn, corrID, traceID, frameError, op, []byte(herr.Error()))
-				return
-			}
-			_ = writeFrame(conn, corrID, traceID, frameResponse, "", resp)
-		}()
+		for i := 0; i < dispatch; i++ {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				ctx := context.Background()
+				if traceID != 0 {
+					ctx = WithTraceID(ctx, traceID)
+				}
+				var resp []byte
+				var herr error
+				if h == nil {
+					herr = fmt.Errorf("unknown operation %q", op)
+				} else {
+					resp, herr = h(ctx, payload)
+				}
+				if fault != nil {
+					action, delay := fault.act(FaultPoint{Party: party, Peer: peer, Op: op, Kind: KindResponse})
+					switch action {
+					case FaultDrop:
+						return // response vanishes; the client times out
+					case FaultSever:
+						conn.Close()
+						return
+					case FaultDelay:
+						time.Sleep(delay)
+					}
+				}
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				if herr != nil {
+					_ = writeFrame(conn, corrID, traceID, frameError, op, []byte(herr.Error()))
+					return
+				}
+				_ = writeFrame(conn, corrID, traceID, frameResponse, "", resp)
+			}()
+		}
 	}
 }
 
@@ -328,6 +373,11 @@ type DialOpts struct {
 	// (netmsg_reconnects_total) and dial failures
 	// (netmsg_dial_failures_total) for this client.
 	Metrics *metrics.Registry
+	// Fault, when non-nil, intercepts this client's dials and frames for
+	// chaos testing; Party labels the endpoint in fault points (defaults
+	// to "client").
+	Fault *FaultInjector
+	Party string
 }
 
 func (o *DialOpts) fill() {
@@ -339,6 +389,9 @@ func (o *DialOpts) fill() {
 	}
 	if o.MaxDialAttempts <= 0 {
 		o.MaxDialAttempts = 3
+	}
+	if o.Party == "" {
+		o.Party = "client"
 	}
 }
 
@@ -381,7 +434,7 @@ func DialOptions(addr string, opts DialOpts) (*Client, error) {
 		cl.reconnects = reg.Counter("netmsg_reconnects_total").With()
 		cl.dialFailures = reg.Counter("netmsg_dial_failures_total").With()
 	}
-	conn, err := dialConn(addr, opts.DialTimeout)
+	conn, err := cl.dialConn()
 	if err != nil {
 		if cl.dialFailures != nil {
 			cl.dialFailures.Inc()
@@ -393,6 +446,18 @@ func DialOptions(addr string, opts DialOpts) (*Client, error) {
 	cl.mu.Unlock()
 	go cl.readLoop(conn)
 	return cl, nil
+}
+
+// dialConn establishes one raw connection, consulting the client's
+// fault injector first so partitioned or dial-blocked pairs fail without
+// touching the transport.
+func (c *Client) dialConn() (net.Conn, error) {
+	if f := c.opts.Fault; f != nil {
+		if err := f.dial(c.opts.Party, c.addr); err != nil {
+			return nil, err
+		}
+	}
+	return dialConn(c.addr, c.opts.DialTimeout)
 }
 
 // dialConn establishes one raw connection.
@@ -446,7 +511,7 @@ func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
 
 	delay := 5 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		conn, err := dialConn(c.addr, c.opts.DialTimeout)
+		conn, err := c.dialConn()
 		if err == nil {
 			c.mu.Lock()
 			if c.closed {
@@ -502,6 +567,18 @@ func (c *Client) readLoop(conn net.Conn) {
 		if err != nil {
 			c.failConn(conn)
 			return
+		}
+		if f := c.opts.Fault; f != nil {
+			action, delay := f.act(FaultPoint{Party: c.opts.Party, Peer: c.addr, Op: op, Kind: KindResponse})
+			switch action {
+			case FaultDrop:
+				continue // discard the response; the caller times out
+			case FaultSever:
+				c.failConn(conn)
+				return
+			case FaultDelay:
+				time.Sleep(delay)
+			}
 		}
 		c.mu.Lock()
 		call := c.pending[corrID]
@@ -588,15 +665,42 @@ func (c *Client) RequestCtx(ctx context.Context, op string, payload []byte) ([]b
 	c.pending[id] = call
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err = writeFrame(conn, id, TraceIDFrom(ctx), frameRequest, op, payload)
-	c.writeMu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		c.dropConn(conn)
-		return nil, err
+	writes := 1
+	if f := c.opts.Fault; f != nil {
+		action, delay := f.act(FaultPoint{Party: c.opts.Party, Peer: c.addr, Op: op, Kind: KindRequest})
+		switch action {
+		case FaultDrop:
+			writes = 0 // pretend it was sent; the deadline fires below
+		case FaultDuplicate:
+			writes = 2
+		case FaultSever:
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			c.dropConn(conn)
+			return nil, fmt.Errorf("%w (%w)", ErrConnLost, ErrInjected)
+		case FaultDelay:
+			select {
+			case <-ctx.Done():
+				c.mu.Lock()
+				delete(c.pending, id)
+				c.mu.Unlock()
+				return nil, ctxErr(ctx.Err())
+			case <-time.After(delay):
+			}
+		}
+	}
+	for i := 0; i < writes; i++ {
+		c.writeMu.Lock()
+		err = writeFrame(conn, id, TraceIDFrom(ctx), frameRequest, op, payload)
+		c.writeMu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			c.dropConn(conn)
+			return nil, err
+		}
 	}
 
 	select {
@@ -644,8 +748,15 @@ func (c *Client) Close() {
 // writeFrame emits one frame: u32 body length, then u64 corrID,
 // u64 traceID, u8 type, u16 op length, op bytes, payload bytes. The
 // trace ID rides every frame so one client operation is correlatable
-// across every process it touches; zero means untraced.
-func writeFrame(conn net.Conn, corrID, traceID uint64, ftype byte, op string, payload []byte) error {
+// across every process it touches; zero means untraced. It takes an
+// io.Writer (not net.Conn) so the encoder is fuzzable in isolation.
+func writeFrame(w io.Writer, corrID, traceID uint64, ftype byte, op string, payload []byte) error {
+	if len(op) > 1<<16-1 {
+		// The header stores the op length in 16 bits; anything longer
+		// would silently truncate and desynchronize the stream (found by
+		// FuzzFrameRoundTrip).
+		return fmt.Errorf("netmsg: op of %d bytes exceeds header field", len(op))
+	}
 	body := 8 + 8 + 1 + 2 + len(op) + len(payload)
 	if body > MaxFrame {
 		return fmt.Errorf("netmsg: frame of %d bytes exceeds limit", body)
@@ -658,14 +769,14 @@ func writeFrame(conn net.Conn, corrID, traceID uint64, ftype byte, op string, pa
 	binary.LittleEndian.PutUint16(buf[21:], uint16(len(op)))
 	copy(buf[23:], op)
 	copy(buf[23+len(op):], payload)
-	_, err := conn.Write(buf)
+	_, err := w.Write(buf)
 	return err
 }
 
 // readFrame reads one frame written by writeFrame.
-func readFrame(conn net.Conn) (corrID, traceID uint64, ftype byte, op string, payload []byte, err error) {
+func readFrame(r io.Reader) (corrID, traceID uint64, ftype byte, op string, payload []byte, err error) {
 	var hdr [4]byte
-	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return
 	}
 	body := binary.LittleEndian.Uint32(hdr[:])
@@ -674,7 +785,7 @@ func readFrame(conn net.Conn) (corrID, traceID uint64, ftype byte, op string, pa
 		return
 	}
 	buf := make([]byte, body)
-	if _, err = io.ReadFull(conn, buf); err != nil {
+	if _, err = io.ReadFull(r, buf); err != nil {
 		return
 	}
 	corrID = binary.LittleEndian.Uint64(buf)

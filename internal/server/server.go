@@ -38,6 +38,12 @@ var (
 	// no longer owns the shard. The pipeline refreshes the image and
 	// retries; callers only see it wrapped inside ErrUnavailable.
 	ErrStaleRoute = errors.New("volap: stale route")
+	// ErrWorkerDown fails an insert fast when the target shard's owner
+	// has been declared dead (its coord session expired and its
+	// registration vanished). Unlike ErrUnavailable it is returned
+	// without burning the retry budget: the image has already told us
+	// nobody is home.
+	ErrWorkerDown = errors.New("volap: worker down")
 )
 
 // Options configures a server.
@@ -58,6 +64,11 @@ type Options struct {
 	// Metrics receives the server's instrumentation. When nil the server
 	// creates a private registry (reachable via Metrics()).
 	Metrics *metrics.Registry
+
+	// Fault, when non-nil, intercepts every worker-bound dial and frame
+	// for chaos testing (see netmsg.FaultInjector). Production deploys
+	// leave it nil.
+	Fault *netmsg.FaultInjector
 }
 
 // Server is one server node.
@@ -76,8 +87,11 @@ type Server struct {
 	mu      sync.RWMutex
 	owners  map[image.ShardID]string     // shard -> worker ID
 	workers map[string]*image.WorkerMeta // worker ID -> meta
+	down    map[string]struct{}          // workers whose registration vanished
 	conns   map[string]*netmsg.Client    // worker addr -> client
 	dirty   map[image.ShardID]struct{}   // locally grown shards awaiting push
+
+	fault *netmsg.FaultInjector
 
 	watcher   *coord.Watcher
 	stopSync  chan struct{}
@@ -99,6 +113,8 @@ type Server struct {
 	routes   *metrics.CounterVec   // server_routes_total{op}
 	unavail  *metrics.Counter      // server_unavailable_total
 	inflight *metrics.Gauge        // server_inflight_ops
+	partials *metrics.Counter      // server_partial_queries_total
+	downErrs *metrics.Counter      // server_worker_down_total
 }
 
 // New builds a server, loads the global image, and starts watching for
@@ -138,8 +154,10 @@ func New(opts Options) (*Server, error) {
 		idx:        image.NewIndex(cfg.Schema, cfg.Keys, cfg.MDSCap, 8),
 		owners:     make(map[image.ShardID]string),
 		workers:    make(map[string]*image.WorkerMeta),
+		down:       make(map[string]struct{}),
 		conns:      make(map[string]*netmsg.Client),
 		dirty:      make(map[image.ShardID]struct{}),
+		fault:      opts.Fault,
 		reg:        reg,
 		trace:      metrics.NewTraceLog(0),
 		opLat:      reg.Histogram("server_op_seconds", "op"),
@@ -147,7 +165,14 @@ func New(opts Options) (*Server, error) {
 		routes:     reg.Counter("server_routes_total", "op"),
 		unavail:    reg.Counter("server_unavailable_total").With(),
 		inflight:   reg.Gauge("server_inflight_ops").With(),
+		partials:   reg.Counter("server_partial_queries_total").With(),
+		downErrs:   reg.Counter("server_worker_down_total").With(),
 	}
+	reg.GaugeFunc("server_down_workers", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.down))
+	})
 	reg.CounterFunc("server_sync_pushes_total", func() uint64 { p, _ := s.SyncStats(); return p })
 	reg.CounterFunc("server_watch_events_total", func() uint64 { _, e := s.SyncStats(); return e })
 	reg.CounterFunc("server_refreshes_total", func() uint64 { return s.RetryStats() })
@@ -237,6 +262,7 @@ func (s *Server) applyNode(path string, data []byte) {
 		}
 		s.mu.Lock()
 		s.workers[meta.ID] = meta
+		delete(s.down, meta.ID) // a (re)registration revives the worker
 		s.mu.Unlock()
 	}
 }
@@ -247,15 +273,67 @@ func (s *Server) onEvent(ev coord.Event) {
 	s.watchEvents++
 	s.statMu.Unlock()
 	if ev.Type == coord.EventDeleted {
-		return // VOLAP never removes shards or workers from the image
+		// Shards are never deleted from the image, but worker
+		// registrations are ephemeral: a deletion is a session expiry
+		// (crash) or a graceful deregistration. Either way the worker is
+		// gone until it re-registers.
+		if id, ok := image.ParseWorkerPath(ev.Path); ok {
+			s.markWorkerDown(id)
+		}
+		return
 	}
 	s.applyNode(ev.Path, ev.Data)
 }
 
+// markWorkerDown records a dead worker and drops its cached connection
+// so in-flight requests fail immediately instead of waiting out their
+// deadlines.
+func (s *Server) markWorkerDown(id string) {
+	s.mu.Lock()
+	if _, already := s.down[id]; already {
+		s.mu.Unlock()
+		return
+	}
+	s.down[id] = struct{}{}
+	var conn *netmsg.Client
+	if meta := s.workers[id]; meta != nil {
+		if c, ok := s.conns[meta.Addr]; ok {
+			conn = c
+			delete(s.conns, meta.Addr)
+		}
+	}
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// isWorkerDown reports whether the worker's registration is gone.
+func (s *Server) isWorkerDown(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, down := s.down[id]
+	return down
+}
+
 // onReset rebuilds from a fresh snapshot after event-log compaction.
+// Workers we knew that are absent from the snapshot died while the
+// event log was compacted away; mark them down so routing degrades
+// instead of timing out.
 func (s *Server) onReset(snap map[string][]byte) {
 	for path, data := range snap {
 		s.applyNode(path, data)
+	}
+	s.mu.RLock()
+	var lost []string
+	for id := range s.workers {
+		if _, ok := snap[image.WorkerPath(id)]; !ok {
+			lost = append(lost, id)
+		}
+	}
+	s.mu.RUnlock()
+	for _, id := range lost {
+		s.markWorkerDown(id)
 	}
 }
 
@@ -274,7 +352,10 @@ func (s *Server) workerClient(workerID string) (*netmsg.Client, error) {
 	if c != nil {
 		return c, nil
 	}
-	c, err := netmsg.DialOptions(meta.Addr, netmsg.DialOpts{DefaultTimeout: s.reqTimeout, Metrics: s.reg})
+	c, err := netmsg.DialOptions(meta.Addr, netmsg.DialOpts{
+		DefaultTimeout: s.reqTimeout, Metrics: s.reg,
+		Fault: s.fault, Party: "server/" + s.id,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -471,6 +552,20 @@ func (s *Server) sendShardGroup(ctx context.Context, id image.ShardID, items []c
 		s.mu.RLock()
 		owner := s.owners[id]
 		s.mu.RUnlock()
+		if s.isWorkerDown(owner) {
+			// Fail fast instead of burning the retry budget on a worker
+			// the image already declared dead. One forced refresh covers
+			// the race where the shard just migrated off the corpse.
+			s.refreshShard(id)
+			s.mu.RLock()
+			owner = s.owners[id]
+			s.mu.RUnlock()
+			if s.isWorkerDown(owner) {
+				s.downErrs.Inc()
+				s.traceAdd(ctx, op+".down", fmt.Sprintf("shard %d worker %s", id, owner))
+				return fmt.Errorf("%w: shard %d (worker %s)", ErrWorkerDown, id, owner)
+			}
+		}
 		c, err := s.workerClient(owner)
 		if err != nil {
 			lastErr = err
@@ -498,7 +593,17 @@ type QueryInfo struct {
 	ShardsConsidered int // shards whose box touched the query
 	ShardsSearched   int // shards that actually contributed
 	WorkersContacted int
+	// MissingShards lists shards whose data could not be reached (dead
+	// or unreachable workers) and is therefore absent from the
+	// aggregate. Empty on a complete answer. A query with missing
+	// shards but at least one live contribution returns the partial
+	// aggregate with a nil error; callers decide whether partial is
+	// acceptable by checking Partial().
+	MissingShards []image.ShardID
 }
+
+// Partial reports whether the aggregate is missing any shard's data.
+func (qi QueryInfo) Partial() bool { return len(qi.MissingShards) > 0 }
 
 // Query scatter-gathers an aggregate query across the workers owning the
 // overlapping shards (§III-B) and merges the partial aggregates. Shard
@@ -506,6 +611,13 @@ type QueryInfo struct {
 // after an image refresh (bounded attempts, capped backoff); only
 // successful partials are merged, so a failed worker can never leak a
 // zero-value reply into the result.
+//
+// Degradation: shards owned by workers the image has declared dead are
+// skipped (one forced refresh covers a just-finished migration) and
+// reported in QueryInfo.MissingShards. If at least one shard
+// contributed, the partial aggregate is returned with a nil error; if
+// nothing could be reached the query fails with ErrUnavailable as
+// before — an empty "result" would be indistinguishable from real data.
 func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryInfo, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
@@ -517,6 +629,8 @@ func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryI
 		return agg, info, nil
 	}
 	contacted := make(map[string]struct{})
+	missing := make(map[image.ShardID]struct{})
+	succeeded := 0
 	remaining := shards
 	var lastErr error
 	delay := 5 * time.Millisecond
@@ -532,6 +646,31 @@ func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryI
 				info.WorkersContacted = len(contacted)
 				return core.NewAggregate(), info, err
 			}
+		}
+		// Shards owned by dead workers go straight to the missing set
+		// (after one refresh at first sight) instead of timing out.
+		live := make([]image.ShardID, 0, len(remaining))
+		for _, id := range remaining {
+			s.mu.RLock()
+			owner := s.owners[id]
+			s.mu.RUnlock()
+			if s.isWorkerDown(owner) {
+				if attempt == 0 {
+					s.refreshShard(id)
+					s.mu.RLock()
+					owner = s.owners[id]
+					s.mu.RUnlock()
+				}
+				if s.isWorkerDown(owner) {
+					missing[id] = struct{}{}
+					continue
+				}
+			}
+			live = append(live, id)
+		}
+		remaining = live
+		if len(remaining) == 0 {
+			break
 		}
 		byWorker := make(map[string][]image.ShardID)
 		s.mu.RLock()
@@ -584,20 +723,45 @@ func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryI
 			}
 			agg.Merge(p.rep.Agg)
 			info.ShardsSearched += int(p.rep.ShardsSearched)
+			succeeded += len(p.ids)
 		}
 		info.WorkersContacted = len(contacted)
 		if fatal != nil {
 			return core.NewAggregate(), info, fatal
 		}
 		if len(failed) == 0 {
-			return agg, info, nil
+			remaining = nil
+			break
 		}
 		remaining = failed
 	}
 	info.WorkersContacted = len(contacted)
-	s.unavail.Inc()
-	return core.NewAggregate(), info, fmt.Errorf("%w: %d shards unreachable: %v",
-		ErrUnavailable, len(remaining), lastErr)
+	// Shards still unreachable after the retry budget join the dead
+	// workers' shards in the missing set.
+	for _, id := range remaining {
+		missing[id] = struct{}{}
+	}
+	if len(missing) == 0 {
+		return agg, info, nil
+	}
+	if succeeded == 0 {
+		// Nothing answered: an empty aggregate would be garbage, so this
+		// stays a hard failure.
+		s.unavail.Inc()
+		if lastErr == nil {
+			lastErr = ErrWorkerDown
+		}
+		return core.NewAggregate(), info, fmt.Errorf("%w: %d shards unreachable: %v",
+			ErrUnavailable, len(missing), lastErr)
+	}
+	info.MissingShards = make([]image.ShardID, 0, len(missing))
+	for id := range missing {
+		info.MissingShards = append(info.MissingShards, id)
+	}
+	sort.Slice(info.MissingShards, func(i, j int) bool { return info.MissingShards[i] < info.MissingShards[j] })
+	s.partials.Inc()
+	s.traceAdd(ctx, "query.partial", fmt.Sprintf("%d/%d shards missing", len(missing), len(shards)))
+	return agg, info, nil
 }
 
 // GroupBy runs one aggregate per child value of the given dimension and
@@ -729,6 +893,7 @@ func (s *Server) SyncStats() (pushes, events uint64) {
 // global image.
 func (s *Server) Listen(addr string) (string, error) {
 	srv := netmsg.NewServer()
+	srv.SetFaults(s.fault, "server/"+s.id)
 	srv.Handle("server.hello", s.handleHello)
 	srv.Handle("server.insert", s.handleInsert)
 	srv.Handle("server.bulkload", s.handleBulkLoad)
@@ -831,6 +996,10 @@ func (s *Server) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	w.Uvarint(uint64(info.ShardsConsidered))
 	w.Uvarint(uint64(info.ShardsSearched))
 	w.Uvarint(uint64(info.WorkersContacted))
+	w.Uvarint(uint64(len(info.MissingShards)))
+	for _, id := range info.MissingShards {
+		w.Uvarint(uint64(id))
+	}
 	return w.Bytes(), nil
 }
 
@@ -1080,6 +1249,12 @@ func DecodeQueryResponse(b []byte) (core.Aggregate, QueryInfo, error) {
 		ShardsConsidered: int(r.Uvarint()),
 		ShardsSearched:   int(r.Uvarint()),
 		WorkersContacted: int(r.Uvarint()),
+	}
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		info.MissingShards = make([]image.ShardID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			info.MissingShards = append(info.MissingShards, image.ShardID(r.Uvarint()))
+		}
 	}
 	return agg, info, r.Err()
 }

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip writes one value of every scalar and composite kind and
+// checks the reader returns them bit-for-bit with no bytes left over.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(0), false, uint16(0), uint32(0), uint64(0), uint64(0), int64(0), 0.0, "", []byte{})
+	f.Add(uint8(255), true, uint16(65535), uint32(1<<31), uint64(1)<<63, uint64(300), int64(-1), math.Inf(-1), "héllo", []byte{0xff, 0x00})
+	f.Add(uint8(7), true, uint16(1), uint32(2), uint64(3), uint64(1<<62), int64(math.MinInt64), math.NaN(), "a\x00b", bytes.Repeat([]byte{9}, 40))
+	f.Fuzz(func(t *testing.T, u8 uint8, b bool, u16 uint16, u32 uint32, u64, uv uint64, v int64, fl float64, s string, bs []byte) {
+		w := NewWriter(64)
+		w.Uint8(u8)
+		w.Bool(b)
+		w.Uint16(u16)
+		w.Uint32(u32)
+		w.Uint64(u64)
+		w.Uvarint(uv)
+		w.Varint(v)
+		w.Float64(fl)
+		w.String(s)
+		w.Bytes1(bs)
+		w.Uint64s([]uint64{uv, u64})
+
+		r := NewReader(w.Bytes())
+		if got := r.Uint8(); got != u8 {
+			t.Fatalf("Uint8 = %d, want %d", got, u8)
+		}
+		if got := r.Bool(); got != b {
+			t.Fatalf("Bool = %v, want %v", got, b)
+		}
+		if got := r.Uint16(); got != u16 {
+			t.Fatalf("Uint16 = %d, want %d", got, u16)
+		}
+		if got := r.Uint32(); got != u32 {
+			t.Fatalf("Uint32 = %d, want %d", got, u32)
+		}
+		if got := r.Uint64(); got != u64 {
+			t.Fatalf("Uint64 = %d, want %d", got, u64)
+		}
+		if got := r.Uvarint(); got != uv {
+			t.Fatalf("Uvarint = %d, want %d", got, uv)
+		}
+		if got := r.Varint(); got != v {
+			t.Fatalf("Varint = %d, want %d", got, v)
+		}
+		if got := r.Float64(); math.Float64bits(got) != math.Float64bits(fl) {
+			t.Fatalf("Float64 = %v, want %v", got, fl)
+		}
+		if got := r.String(); got != s {
+			t.Fatalf("String = %q, want %q", got, s)
+		}
+		if got := r.Bytes1(); !bytes.Equal(got, bs) {
+			t.Fatalf("Bytes1 = %q, want %q", got, bs)
+		}
+		if got := r.Uint64s(); len(got) != 2 || got[0] != uv || got[1] != u64 {
+			t.Fatalf("Uint64s = %v, want [%d %d]", got, uv, u64)
+		}
+		if r.Err() != nil {
+			t.Fatalf("reader error after full round trip: %v", r.Err())
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left over", r.Remaining())
+		}
+	})
+}
+
+// FuzzReaderArbitrary feeds arbitrary bytes through every decoder: the
+// reader must fail cleanly (sticky Err) rather than panic or
+// over-allocate, whatever the input.
+func FuzzReaderArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02})
+	f.Add([]byte{200, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.Uvarint()
+		_ = r.String()
+		_ = r.Bytes1()
+		_ = r.Uint64s()
+		_ = r.Varint()
+		_ = r.Float64()
+		_ = r.Uint8()
+		if r.Err() == nil && r.Remaining() < 0 {
+			t.Fatal("negative remaining without error")
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/netmsg"
+)
+
+// TestForwardErrContract pins the moved-error mapping servers depend on:
+// transport failures reaching a forwarding destination become the moved
+// sentinel (refresh your image), while genuine remote handler errors
+// pass through untouched.
+func TestForwardErrContract(t *testing.T) {
+	const dest = "inproc://gone-worker"
+	cases := []struct {
+		name      string
+		err       error
+		wantMoved bool
+	}{
+		{"nil passes", nil, false},
+		{"conn lost maps to moved", netmsg.ErrConnLost, true},
+		{"timeout maps to moved", netmsg.ErrTimeout, true},
+		{"dial failure maps to moved", errors.New("netmsg: no inproc listener"), true},
+		{"remote error passes through", &netmsg.RemoteError{Op: "worker.insert", Msg: "bad item"}, false},
+	}
+	for _, tc := range cases {
+		got := forwardErr(tc.err, dest)
+		if tc.err == nil {
+			if got != nil {
+				t.Errorf("%s: forwardErr(nil) = %v", tc.name, got)
+			}
+			continue
+		}
+		isMoved := got != nil && strings.HasPrefix(got.Error(), MovedPrefix)
+		if isMoved != tc.wantMoved {
+			t.Errorf("%s: forwardErr = %v, moved=%v want %v", tc.name, got, isMoved, tc.wantMoved)
+		}
+		if tc.wantMoved {
+			if got.Error() != MovedPrefix+dest {
+				t.Errorf("%s: moved error %q does not name the destination", tc.name, got)
+			}
+			if !IsStaleRouteMsg(got.Error()) {
+				t.Errorf("%s: moved error not classified stale by IsStaleRouteMsg", tc.name)
+			}
+		} else if !errors.Is(got, tc.err) && got != tc.err {
+			var re *netmsg.RemoteError
+			if !errors.As(got, &re) {
+				t.Errorf("%s: remote error not preserved: %v", tc.name, got)
+			}
+		}
+	}
+}
+
+// TestIsStaleRouteMsg pins the message fragments the server's error
+// classifier keys on.
+func TestIsStaleRouteMsg(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{MovedPrefix + "inproc://w2", true},
+		{"worker w0: unknown shard 7", true},
+		{"worker w0: shard 7 unavailable", false},
+		{"some other error", false},
+	}
+	for _, tc := range cases {
+		if got := IsStaleRouteMsg(tc.msg); got != tc.want {
+			t.Errorf("IsStaleRouteMsg(%q) = %v, want %v", tc.msg, got, tc.want)
+		}
+	}
+}
+
+// TestInsertForwardToDeadPeer checks the live path: a shard whose
+// forwarding destination is unreachable reports the moved sentinel so
+// the caller re-resolves ownership instead of retrying this worker.
+func TestInsertForwardToDeadPeer(t *testing.T) {
+	w, _ := startWorker(t, "fw0")
+	const id = image.ShardID(3)
+	if err := w.CreateShard(id); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a completed migration: store gone, forward set to an
+	// address nobody listens on.
+	st := w.shard(id)
+	st.mu.Lock()
+	st.store = nil
+	st.forward = "inproc://nobody-here"
+	st.mu.Unlock()
+
+	rng := rand.New(rand.NewSource(5))
+	err := w.Insert(context.Background(), id, randItems(rng, w.cfg, 5))
+	if err == nil || !strings.HasPrefix(err.Error(), MovedPrefix) {
+		t.Fatalf("insert to dead forward = %v, want %q prefix", err, MovedPrefix)
+	}
+	if _, _, err := w.QueryShard(context.Background(), id, keys.AllRect(w.cfg.Schema)); err == nil || !IsStaleRouteMsg(err.Error()) {
+		t.Fatalf("query to dead forward = %v, want stale-route error", err)
+	}
+}

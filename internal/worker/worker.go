@@ -47,6 +47,8 @@ type Worker struct {
 	peerMu sync.Mutex
 	peers  map[string]*netmsg.Client // addr -> client (for forwarding/migration)
 
+	fault *netmsg.FaultInjector // chaos testing; nil in production
+
 	statPublish func(*image.WorkerMeta) // set by Start when a coordinator is attached
 	stopStats   chan struct{}
 	statsWg     sync.WaitGroup
@@ -121,9 +123,20 @@ func shardLabel(id image.ShardID) string { return strconv.FormatUint(uint64(id),
 // Addr returns the bound address (after Listen).
 func (w *Worker) Addr() string { return w.addr }
 
+// SetFaults wires a fault injector into the worker's serving side and
+// its peer (forwarding/migration) connections, labeled "worker/<id>".
+// Call before Listen.
+func (w *Worker) SetFaults(f *netmsg.FaultInjector) {
+	w.fault = f
+	if w.srv != nil {
+		w.srv.SetFaults(f, "worker/"+w.id)
+	}
+}
+
 // Listen binds the worker's RPC server.
 func (w *Worker) Listen(addr string) (string, error) {
 	srv := netmsg.NewServer()
+	srv.SetFaults(w.fault, "worker/"+w.id)
 	srv.Handle("worker.createshard", w.handleCreateShard)
 	srv.Handle("worker.insert", w.handleInsert)
 	srv.Handle("worker.bulkload", w.handleBulkLoad)
@@ -239,7 +252,12 @@ func (w *Worker) peer(addr string) (*netmsg.Client, error) {
 	if c, ok := w.peers[addr]; ok {
 		return c, nil
 	}
-	c, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: peerTimeout, Metrics: w.reg})
+	c, err := netmsg.DialOptions(addr, netmsg.DialOpts{
+		DefaultTimeout: peerTimeout,
+		Metrics:        w.reg,
+		Fault:          w.fault,
+		Party:          "worker/" + w.id,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,10 @@
 # drives inserts and queries through the CLI client, then asserts every
 # process's /metrics endpoint serves Prometheus text with nonzero op
 # counters.
+#
+# Every component listens on 127.0.0.1:0 and the script reads the bound
+# address back from its log line, so concurrent runs (CI, a developer's
+# second terminal) never collide on ports.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,42 +35,51 @@ fail() {
 echo "smoke: building binaries"
 go build -o "$BIN" ./cmd/volap-coord ./cmd/volap-worker ./cmd/volap-server ./cmd/volap
 
-COORD=127.0.0.1:19550
-W0=127.0.0.1:19561
-W1=127.0.0.1:19562
-SRV=127.0.0.1:19570
-W0_OBS=127.0.0.1:19661
-W1_OBS=127.0.0.1:19662
-SRV_OBS=127.0.0.1:19670
-
+# spawn LABEL BINARY ARGS...: start a process with its own log file.
 spawn() {
-	name=$1
-	shift
-	"$BIN/$name" "$@" >"$LOG/$name-$$.log" 2>&1 &
+	label=$1
+	name=$2
+	shift 2
+	"$BIN/$name" "$@" >"$LOG/$label.log" 2>&1 &
 	PIDS="$PIDS $!"
 }
 
-wait_tcp() {
+# wait_log LABEL SED_EXPR: poll LABEL's log until SED_EXPR extracts a
+# value (the address a component reported binding), then print it. The
+# components print after Listen succeeds, so the address is dialable the
+# moment it appears.
+wait_log() {
 	i=0
-	# curl exits 7 while the port refuses connections; once it connects,
-	# the raw protocol probe fails differently (timeout/recv error),
-	# which is all we need to know the listener is up.
-	while curl -s -o /dev/null --max-time 1 "telnet://$1" 2>/dev/null; [ $? -eq 7 ]; do
+	while :; do
+		v=$(sed -n "$2" "$LOG/$1.log" 2>/dev/null | head -n 1)
+		if [ -n "$v" ]; then
+			printf '%s\n' "$v"
+			return 0
+		fi
 		i=$((i + 1))
-		[ "$i" -gt 100 ] && fail "$1 never came up"
+		[ "$i" -gt 100 ] && return 1
 		sleep 0.1
 	done
 }
 
+obs_addr() {
+	wait_log "$1" 's|.*observability on http://\([^/]*\)/metrics|\1|p'
+}
+
 echo "smoke: booting 1-server/2-worker cluster"
-spawn volap-coord -listen "$COORD"
-wait_tcp "$COORD"
-spawn volap-worker -coord "$COORD" -id w0 -listen "$W0" -shards 4 -metrics-addr "$W0_OBS"
-spawn volap-worker -coord "$COORD" -id w1 -listen "$W1" -shards 4 -metrics-addr "$W1_OBS"
-wait_tcp "$W0"
-wait_tcp "$W1"
-spawn volap-server -coord "$COORD" -id s0 -listen "$SRV" -sync 300ms -metrics-addr "$SRV_OBS"
-wait_tcp "$SRV"
+spawn coord volap-coord -listen 127.0.0.1:0
+COORD=$(wait_log coord 's/^volap-coord: serving global system image on //p') ||
+	fail "coord never reported its address"
+spawn w0 volap-worker -coord "$COORD" -id w0 -listen 127.0.0.1:0 -shards 4 -metrics-addr 127.0.0.1:0
+spawn w1 volap-worker -coord "$COORD" -id w1 -listen 127.0.0.1:0 -shards 4 -metrics-addr 127.0.0.1:0
+wait_log w0 's/^volap-worker w0: serving on //p' >/dev/null || fail "w0 never came up"
+wait_log w1 's/^volap-worker w1: serving on //p' >/dev/null || fail "w1 never came up"
+W0_OBS=$(obs_addr w0) || fail "w0 never reported its metrics address"
+W1_OBS=$(obs_addr w1) || fail "w1 never reported its metrics address"
+spawn srv volap-server -coord "$COORD" -id s0 -listen 127.0.0.1:0 -sync 300ms -metrics-addr 127.0.0.1:0
+wait_log srv 's/^volap-server s0: serving clients on \([^ ]*\).*/\1/p' >/dev/null ||
+	fail "server never came up"
+SRV_OBS=$(obs_addr srv) || fail "server never reported its metrics address"
 
 echo "smoke: driving inserts and queries"
 "$BIN/volap" insert -coord "$COORD" -n 5000 -seed 7 >"$LOG/insert.log" 2>&1 || fail "insert stream"

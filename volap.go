@@ -88,7 +88,31 @@ type (
 	Registry = metrics.Registry
 	// TraceEvent is one entry of a component's request-trace ring.
 	TraceEvent = metrics.TraceEvent
+	// FaultInjector intercepts intra-cluster RPC traffic (drop, delay,
+	// duplicate, sever, partition) for chaos testing; wire one in via
+	// Options.Fault.
+	FaultInjector = netmsg.FaultInjector
+	// FaultRule matches fault points and prescribes an action.
+	FaultRule = netmsg.FaultRule
+	// FaultPoint identifies one interception site (party, peer, op, kind).
+	FaultPoint = netmsg.FaultPoint
+	// FaultAction is what an injector does with one frame or dial.
+	FaultAction = netmsg.FaultAction
 )
+
+// Fault actions and kinds, re-exported for rule construction.
+const (
+	FaultPass      = netmsg.FaultPass
+	FaultDrop      = netmsg.FaultDrop
+	FaultDelay     = netmsg.FaultDelay
+	FaultDuplicate = netmsg.FaultDuplicate
+	FaultSever     = netmsg.FaultSever
+)
+
+// NewFaultInjector returns a fault injector whose probabilistic decisions
+// are driven by the given seed (deterministic schedules use Count-limited
+// rules instead of probabilities).
+func NewFaultInjector(seed int64) *FaultInjector { return netmsg.NewFaultInjector(seed) }
 
 // Shard store kinds (see the paper §III-D).
 const (
@@ -194,6 +218,17 @@ type Options struct {
 	// an image refresh before an operation reports ErrUnavailable
 	// (default 3).
 	MaxRetries int
+
+	// SessionTTL is the liveness lease of worker registrations in the
+	// coordination service (default 5 s). A worker that stops
+	// heartbeating — crash, partition — is reaped after one TTL: its
+	// ephemeral registration disappears, servers mark its shards down
+	// and degrade gracefully (ErrWorkerDown inserts, Partial queries).
+	SessionTTL time.Duration
+	// Fault, when non-nil, intercepts every intra-cluster RPC
+	// (server→worker, worker→worker, manager→worker, and the serving
+	// sides) for chaos testing. Production deployments leave it nil.
+	Fault *FaultInjector
 }
 
 var clusterSeq atomic.Uint64
@@ -255,6 +290,9 @@ func (o *Options) defaults() error {
 	if o.BalanceRatio <= 1 {
 		o.BalanceRatio = 1.25
 	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 5 * time.Second
+	}
 	return nil
 }
 
@@ -266,9 +304,10 @@ type Cluster struct {
 	store    *coord.Store
 	coordSrv *netmsg.Server
 
-	workers []*worker.Worker
-	servers []*server.Server
-	mgr     *manager.Manager
+	workers  []*worker.Worker
+	sessions map[string]*coord.Session // worker ID -> liveness session
+	servers  []*server.Server
+	mgr      *manager.Manager
 
 	clientSeq atomic.Uint64
 	stopped   atomic.Bool
@@ -286,7 +325,7 @@ func Start(opts Options) (*Cluster, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{opts: opts, store: coord.NewStore()}
+	c := &Cluster{opts: opts, store: coord.NewStore(), sessions: make(map[string]*coord.Session)}
 	c.cfg = &image.ClusterConfig{
 		Schema:       opts.Schema,
 		Store:        opts.Store,
@@ -318,6 +357,7 @@ func Start(opts Options) (*Cluster, error) {
 			SyncInterval:   opts.SyncInterval,
 			RequestTimeout: opts.RequestTimeout,
 			MaxRetries:     opts.MaxRetries,
+			Fault:          opts.Fault,
 		})
 		if err != nil {
 			return fail(err)
@@ -335,6 +375,7 @@ func Start(opts Options) (*Cluster, error) {
 		Ratio:         opts.BalanceRatio,
 		MinMoveItems:  opts.MinMoveItems,
 		MaxShardItems: opts.MaxShardItems,
+		Fault:         opts.Fault,
 	})
 	if err != nil {
 		return fail(err)
@@ -359,21 +400,37 @@ func (c *Cluster) addrFor(role, id string) string {
 	return fmt.Sprintf("inproc://%s-%s-%s", c.opts.Name, role, id)
 }
 
+// registerWorker opens the worker's liveness session and publishes its
+// record as an ephemeral node — immediately (servers need the address)
+// and then periodically. If the worker crashes, the session expires
+// after SessionTTL and the registration vanishes, firing server watches.
+func (c *Cluster) registerWorker(w *worker.Worker, id string) (*coord.Session, error) {
+	sess, err := coord.OpenSession(c.coordinator(), c.opts.SessionTTL)
+	if err != nil {
+		return nil, err
+	}
+	publish := func(m *image.WorkerMeta) {
+		_ = sess.Publish(image.WorkerPath(id), m.EncodeBytes())
+	}
+	publish(w.Meta())
+	w.StartStats(publish, c.opts.StatsInterval)
+	c.sessions[id] = sess
+	return sess, nil
+}
+
 // startWorker boots one worker with its initial shards.
 func (c *Cluster) startWorker() (string, error) {
 	id := fmt.Sprintf("w%d", len(c.workers))
 	w := worker.New(id, c.cfg)
+	w.SetFaults(c.opts.Fault)
 	if _, err := w.Listen(c.addrFor("worker", id)); err != nil {
 		return "", err
 	}
-	co := c.coordinator()
-	// Publish the worker record immediately (servers need the address),
-	// then periodically.
-	publish := func(m *image.WorkerMeta) {
-		_, _ = co.CreateOrSet(image.WorkerPath(id), m.EncodeBytes())
+	if _, err := c.registerWorker(w, id); err != nil {
+		w.Close()
+		return "", err
 	}
-	publish(w.Meta())
-	w.StartStats(publish, c.opts.StatsInterval)
+	co := c.coordinator()
 
 	first, err := manager.AllocShardIDs(co, uint64(c.opts.ShardsPerWorker))
 	if err != nil {
@@ -405,17 +462,42 @@ func (c *Cluster) startWorker() (string, error) {
 func (c *Cluster) AddWorker() (string, error) {
 	id := fmt.Sprintf("w%d", len(c.workers))
 	w := worker.New(id, c.cfg)
+	w.SetFaults(c.opts.Fault)
 	if _, err := w.Listen(c.addrFor("worker", id)); err != nil {
 		return "", err
 	}
-	co := c.coordinator()
-	publish := func(m *image.WorkerMeta) {
-		_, _ = co.CreateOrSet(image.WorkerPath(id), m.EncodeBytes())
+	if _, err := c.registerWorker(w, id); err != nil {
+		w.Close()
+		return "", err
 	}
-	publish(w.Meta())
-	w.StartStats(publish, c.opts.StatsInterval)
 	c.workers = append(c.workers, w)
 	return id, nil
+}
+
+// KillWorker simulates a crash of the named worker: the process stops
+// serving immediately and its liveness session is abandoned — not
+// closed — so the registration lingers until the TTL reaps it, exactly
+// like a real failure. Use CoordStore().ExpireSessions with SetClock for
+// deterministic expiry in tests.
+func (c *Cluster) KillWorker(id string) error {
+	var w *worker.Worker
+	for _, cand := range c.workers {
+		if cand.ID() == id {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		return fmt.Errorf("volap: no worker %q", id)
+	}
+	// Stop the worker first: its stats loop publishes through the
+	// session, and a publish after the TTL reaps the node would open a
+	// fresh session and resurrect the registration.
+	w.Close()
+	if sess := c.sessions[id]; sess != nil {
+		sess.Abandon()
+	}
+	return nil
 }
 
 // Schema returns the cluster's schema.
@@ -429,6 +511,14 @@ func (c *Cluster) NumServers() int { return len(c.servers) }
 
 // ServerAddr returns the client-facing address of server i.
 func (c *Cluster) ServerAddr(i int) string { return c.servers[i].Addr() }
+
+// WorkerAddr returns the RPC address of worker i.
+func (c *Cluster) WorkerAddr(i int) string { return c.workers[i].Addr() }
+
+// CoordStore exposes the embedded coordination store. Chaos tests use
+// it to drive session expiry deterministically (SetClock,
+// ExpireSessions); production code never needs it.
+func (c *Cluster) CoordStore() *coord.Store { return c.store }
 
 // SyncAll forces every server to push its local image immediately —
 // useful in tests and freshness experiments instead of waiting out
@@ -487,6 +577,9 @@ func (c *Cluster) Stop() {
 	for _, w := range c.workers {
 		w.Close()
 	}
+	for _, sess := range c.sessions {
+		_ = sess.Close()
+	}
 	if c.coordSrv != nil {
 		c.coordSrv.Close()
 	}
@@ -507,6 +600,10 @@ var (
 	ErrUnavailable = server.ErrUnavailable
 	// ErrStaleRoute classifies one routing miss after a shard migration.
 	ErrStaleRoute = server.ErrStaleRoute
+	// ErrWorkerDown fails an insert fast when the target shard's owner is
+	// known dead (its liveness session expired); retrying immediately is
+	// pointless — wait for the manager to re-place the shard.
+	ErrWorkerDown = server.ErrWorkerDown
 )
 
 // Defaults of the client/server request policy.
@@ -668,7 +765,7 @@ func mapRemoteError(err error) error {
 	if err == nil || !errors.As(err, &re) {
 		return err
 	}
-	sentinels := []error{ErrTimeout, ErrUnavailable, ErrStaleRoute}
+	sentinels := []error{ErrTimeout, ErrUnavailable, ErrStaleRoute, ErrWorkerDown}
 	for _, sentinel := range sentinels {
 		if rest, ok := strings.CutPrefix(re.Msg, sentinel.Error()); ok {
 			if rest = strings.TrimPrefix(rest, ": "); rest == "" {
