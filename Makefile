@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench examples smoke
+.PHONY: check fmt vet build test race bench bench-ingest examples smoke
 
 # The standard gate: everything CI (and the tier-1 verify) runs.
 check: fmt vet build race
@@ -24,8 +24,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+bench: bench-ingest
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Durability ingest overhead (off/async/sync), emitted machine-readable
+# as BENCH_ingest.json.
+bench-ingest:
+	./scripts/bench_ingest.sh
 
 examples:
 	$(GO) run ./examples/quickstart

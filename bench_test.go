@@ -8,6 +8,7 @@ package volap_test
 // figure's full table.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -16,11 +17,13 @@ import (
 	volap "repro"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/image"
 	"repro/internal/keys"
 	"repro/internal/pbs"
 	"repro/internal/rtree"
 	"repro/internal/tpcds"
+	"repro/internal/worker"
 )
 
 // --- shared fixtures -------------------------------------------------------
@@ -305,6 +308,54 @@ func BenchmarkBulkLoadTree(b *testing.B) {
 	}
 	b.SetBytes(int64(len(fixItems)))
 }
+
+// --- Durability: ingest cost by persistence contract ------------------------
+//
+// One op = one 64-item batch through the worker ingest path, so the three
+// modes isolate exactly the durability overhead: off is the paper's pure
+// in-memory apply, async adds the WAL append (group-committed in the
+// background), sync adds an fsync barrier before the ack.
+// scripts/bench_ingest.sh turns these into BENCH_ingest.json.
+
+const ingestBatch = 64
+
+func benchIngestDurability(b *testing.B, mode durable.Mode) {
+	schema := tpcds.Schema()
+	cfg := &image.ClusterConfig{Schema: schema, Store: core.StoreHilbertPDC, Keys: keys.MDS}
+	w := worker.New("bench", cfg)
+	defer w.Close()
+	if mode != durable.ModeOff {
+		d, err := durable.Open(b.TempDir(), "bench", mode, durable.Config{Metrics: w.Metrics()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.AttachDurability(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.CreateShard(1); err != nil {
+		b.Fatal(err)
+	}
+	gen := tpcds.NewGenerator(schema, 11, 1.1)
+	pool := make([][]core.Item, 64)
+	for i := range pool {
+		pool[i] = gen.Items(ingestBatch)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Insert(ctx, 1, pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ingestBatch), "items/op")
+}
+
+func BenchmarkIngestDurabilityOff(b *testing.B)   { benchIngestDurability(b, durable.ModeOff) }
+func BenchmarkIngestDurabilityAsync(b *testing.B) { benchIngestDurability(b, durable.ModeAsync) }
+func BenchmarkIngestDurabilitySync(b *testing.B)  { benchIngestDurability(b, durable.ModeSync) }
 
 func BenchmarkPointInsertTree(b *testing.B) {
 	schema := tpcds.Schema()

@@ -177,6 +177,106 @@ func TestChaosKillWorkerMidInsertStream(t *testing.T) {
 	}
 }
 
+// TestChaosKillRestartRecover is the durability pipeline end to end: a
+// sync-durable worker is killed mid-insert-stream (fds dropped without
+// flushing, like SIGKILL), the cluster degrades to partial results, and a
+// replacement process over the same data directory recovers every
+// acknowledged insert — queries converge back to full results with zero
+// missing shards.
+func TestChaosKillRestartRecover(t *testing.T) {
+	c, err := Start(Options{
+		Schema:          TPCDSSchema(),
+		Workers:         2,
+		Servers:         1,
+		ShardsPerWorker: 2,
+		BalanceInterval: -1,
+		SyncInterval:    time.Hour,
+		StatsInterval:   50 * time.Millisecond,
+		SessionTTL:      time.Second,
+		Durability:      DurabilitySync,
+		DataDir:         t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	loads := seedStream(t, c, cl, 200)
+	seeded := loads[0] + loads[1]
+
+	// SIGKILL w1 and let its lease run out on the fake clock.
+	clk := newChaosClock()
+	c.CoordStore().SetClock(clk.now)
+	if err := c.KillWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(c.opts.SessionTTL + time.Second)
+
+	// The stream continues against the degraded cluster; successes land
+	// on the survivor, inserts routed at the corpse fail typed.
+	gen := NewGenerator(c.Schema(), 23, 1.1)
+	var ok uint64
+	var down int
+	for i := 0; i < 200; i++ {
+		switch err := cl.InsertNoCtx(gen.Item()); {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrWorkerDown):
+			down++
+		default:
+			t.Fatalf("degraded insert %d: %v, want nil or ErrWorkerDown", i, err)
+		}
+	}
+	if down == 0 {
+		t.Fatal("no insert ever hit the dead worker")
+	}
+
+	// Restart over the same data directory: snapshots + WAL replay must
+	// resurrect both of w1's shards with every acknowledged item.
+	rec, err := c.RestartWorker("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || len(rec.Shards) != 2 {
+		t.Fatalf("recovery report = %+v, want 2 shards", rec)
+	}
+	if rec.ReplayedRecords == 0 {
+		t.Fatal("recovery replayed no WAL records")
+	}
+
+	// Convergence: full results, zero missing shards, exact count.
+	want := seeded + ok
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !info.Partial() && len(info.MissingShards) == 0 && agg.Count == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery never converged: err=%v partial=%v missing=%v count=%d want=%d",
+				err, info.Partial(), info.MissingShards, agg.Count, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The recovered worker keeps absorbing writes durably.
+	for i := 0; i < 50; i++ {
+		if err := cl.InsertNoCtx(gen.Item()); err != nil {
+			t.Fatalf("post-recovery insert %d: %v", i, err)
+		}
+	}
+	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || info.Partial() || agg.Count != want+50 {
+		t.Fatalf("post-recovery query: err=%v partial=%v count=%d want=%d",
+			err, info.Partial(), agg.Count, want+50)
+	}
+}
+
 // prometheusCounter extracts a counter value from Prometheus text
 // exposition output.
 func prometheusCounter(t *testing.T, out, name string) uint64 {

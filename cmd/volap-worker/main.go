@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/durable"
 	"repro/internal/image"
 	"repro/internal/keys"
 	"repro/internal/manager"
@@ -28,9 +30,20 @@ func main() {
 	stats := flag.Duration("stats", 500*time.Millisecond, "statistics publication interval")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Second, "liveness session TTL; the registration disappears this long after the worker dies")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
+	durability := flag.String("durability", "off", "persistence contract: off (in-memory), async (background group commit) or sync (fsync before ack)")
+	dataDir := flag.String("data-dir", "", "directory for WALs and snapshots (required unless -durability off); reuse it across restarts to recover")
 	flag.Parse()
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "volap-worker: -id is required")
+		os.Exit(2)
+	}
+	mode, err := durable.ParseMode(*durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volap-worker:", err)
+		os.Exit(2)
+	}
+	if mode != durable.ModeOff && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "volap-worker: -data-dir is required with -durability", mode)
 		os.Exit(2)
 	}
 
@@ -52,9 +65,34 @@ func main() {
 	}
 
 	w := worker.New(*id, cfg)
+	var rec *durable.Recovery
+	if mode != durable.ModeOff {
+		d, err := durable.Open(*dataDir, *id, mode, durable.Config{Metrics: w.Metrics()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-worker: durable:", err)
+			os.Exit(1)
+		}
+		rec, err = w.AttachDurability(d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-worker: recovery:", err)
+			os.Exit(1)
+		}
+		if len(rec.Shards) > 0 {
+			fmt.Printf("volap-worker %s: recovered %d shards in %v (replayed %d records / %d bytes, truncated %d torn tails, %d released)\n",
+				*id, len(rec.Shards), rec.Duration.Round(time.Millisecond),
+				rec.ReplayedRecords, rec.ReplayedBytes, rec.TruncatedTails, rec.Released)
+		}
+	}
 	bound, err := w.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "volap-worker:", err)
+		os.Exit(1)
+	}
+	// A restart after a crash races the old incarnation's TTL: its
+	// ephemeral registration may still advertise the dead address. Clear
+	// it before re-registering so servers switch over immediately.
+	if err := co.Delete(image.WorkerPath(*id), coord.AnyVersion); err != nil && !errors.Is(err, coord.ErrNoNode) {
+		fmt.Fprintln(os.Stderr, "volap-worker: clear stale registration:", err)
 		os.Exit(1)
 	}
 	// Register ephemerally under a liveness session: if this process dies,
@@ -71,7 +109,17 @@ func main() {
 	publish(w.Meta())
 	w.StartStats(publish, *stats)
 
-	if *shards > 0 {
+	if rec != nil && len(rec.Shards) > 0 {
+		// Recovered shards re-animate their persistent records in the
+		// global image — reconcile instead of minting fresh shards.
+		res, err := manager.ReadoptShards(co, *id, w.ShardIDs())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volap-worker: readopt:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("volap-worker %s: readopted %d shards (%d conflicts, %d orphans)\n",
+			*id, res.Readopted, res.Conflicts, res.Orphans)
+	} else if *shards > 0 {
 		first, err := manager.AllocShardIDs(co, uint64(*shards))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "volap-worker: alloc shards:", err)

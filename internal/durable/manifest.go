@@ -1,0 +1,159 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// ShardStatus is one shard's ownership state in the manifest.
+type ShardStatus uint8
+
+// Shard ownership states.
+const (
+	// StatusOwned means the shard's data belongs to this worker and must
+	// be recovered after a restart.
+	StatusOwned ShardStatus = 1
+	// StatusReleased means the shard migrated away; its record is kept
+	// as a tombstone so recovery never resurrects it.
+	StatusReleased ShardStatus = 2
+)
+
+// manifestMagic guards against decoding unrelated files as manifests.
+const manifestMagic = "VOLAPMANIFEST1"
+
+// manifestName is the manifest's filename inside the data directory.
+const manifestName = "MANIFEST"
+
+// manifest is the worker's on-disk shard ownership table. It is the
+// recovery authority: only StatusOwned entries are rebuilt, whatever
+// files survive under shards/.
+type manifest struct {
+	WorkerID string
+	Shards   map[uint64]ShardStatus
+}
+
+// encode serializes the manifest with a trailing CRC over the body.
+func (m *manifest) encode() []byte {
+	body := wire.NewWriter(64 + len(m.Shards)*4)
+	body.String(manifestMagic)
+	body.String(m.WorkerID)
+	ids := make([]uint64, 0, len(m.Shards))
+	for id := range m.Shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	body.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		body.Uvarint(id)
+		body.Uint8(uint8(m.Shards[id]))
+	}
+	out := wire.NewWriter(body.Len() + 4)
+	out.Raw(body.Bytes())
+	out.Uint32(crc32.Checksum(body.Bytes(), castagnoli))
+	return out.Bytes()
+}
+
+// decodeManifest parses and checksums a manifest blob.
+func decodeManifest(b []byte) (*manifest, error) {
+	if len(b) < 4 {
+		return nil, errors.New("durable: manifest too short")
+	}
+	body, sum := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != wire.NewReader(sum).Uint32() {
+		return nil, errors.New("durable: manifest checksum mismatch")
+	}
+	r := wire.NewReader(body)
+	if r.String() != manifestMagic {
+		return nil, errors.New("durable: not a manifest")
+	}
+	m := &manifest{WorkerID: r.String(), Shards: make(map[uint64]ShardStatus)}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, errors.New("durable: manifest shard count implausible")
+	}
+	for i := uint64(0); i < n; i++ {
+		id := r.Uvarint()
+		st := ShardStatus(r.Uint8())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if st != StatusOwned && st != StatusReleased {
+			return nil, fmt.Errorf("durable: manifest shard %d has unknown status %d", id, st)
+		}
+		m.Shards[id] = st
+	}
+	return m, nil
+}
+
+// loadManifest reads dir's manifest; a missing file returns an empty
+// manifest stamped with workerID (first boot).
+func loadManifest(dir, workerID string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return &manifest{WorkerID: workerID, Shards: make(map[uint64]ShardStatus)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(b)
+	if err != nil {
+		return nil, err
+	}
+	if m.WorkerID != workerID {
+		return nil, fmt.Errorf("durable: data dir belongs to worker %q, not %q", m.WorkerID, workerID)
+	}
+	return m, nil
+}
+
+// saveManifest writes the manifest atomically: temp file, fsync, rename,
+// fsync the directory. A crash leaves either the old or the new version,
+// never a torn one.
+func saveManifest(dir string, m *manifest) error {
+	return writeFileAtomic(dir, manifestName, m.encode())
+}
+
+// writeFileAtomic writes name under dir via a temp file + rename, with
+// fsyncs on both the file and the directory.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,122 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// snapMagic guards against decoding unrelated files as snapshots.
+const snapMagic = "VOLAPSNAP1"
+
+// snapName and walName build per-shard file names. Generation g's
+// snapshot covers every record of WAL generations < g; recovery loads
+// the newest valid snapshot and replays wal-<g>, wal-<g+1>, ... over it
+// (more than one survives only when a crash interrupted a checkpoint
+// between WAL rotation and snapshot completion).
+func snapName(gen uint64) string { return "snap-" + strconv.FormatUint(gen, 10) }
+func walName(gen uint64) string  { return "wal-" + strconv.FormatUint(gen, 10) }
+
+// encodeSnapshot frames a shard snapshot: magic, shard ID, generation,
+// CRC and the core.Serialize blob.
+func encodeSnapshot(shard, gen uint64, blob []byte) []byte {
+	w := wire.NewWriter(32 + len(blob))
+	w.String(snapMagic)
+	w.Uvarint(shard)
+	w.Uvarint(gen)
+	w.Uint32(crc32.Checksum(blob, castagnoli))
+	w.Bytes1(blob)
+	return w.Bytes()
+}
+
+// decodeSnapshot validates a snapshot file's framing and returns the
+// inner store blob.
+func decodeSnapshot(b []byte, shard, gen uint64) ([]byte, error) {
+	r := wire.NewReader(b)
+	if r.String() != snapMagic {
+		return nil, errors.New("durable: not a snapshot")
+	}
+	if s := r.Uvarint(); s != shard {
+		return nil, fmt.Errorf("durable: snapshot is for shard %d, not %d", s, shard)
+	}
+	if g := r.Uvarint(); g != gen {
+		return nil, fmt.Errorf("durable: snapshot generation %d, want %d", g, gen)
+	}
+	sum := r.Uint32()
+	blob := r.Bytes1()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if crc32.Checksum(blob, castagnoli) != sum {
+		return nil, errors.New("durable: snapshot checksum mismatch")
+	}
+	return blob, nil
+}
+
+// shardFiles lists the snapshot and WAL generations present in a shard
+// directory, each sorted ascending. Unrecognized files are ignored.
+func shardFiles(dir string) (snaps, wals []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if g, ok := parseGen(name, "snap-"); ok {
+			snaps = append(snaps, g)
+		} else if g, ok := parseGen(name, "wal-"); ok {
+			wals = append(wals, g)
+		}
+	}
+	sortU64(snaps)
+	sortU64(wals)
+	return snaps, wals, nil
+}
+
+func parseGen(name, prefix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+func sortU64(vs []uint64) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// pruneShardFiles deletes every snapshot and WAL of a generation below
+// keep — the truncation half of a completed checkpoint.
+func pruneShardFiles(dir string, keep uint64) {
+	snaps, wals, err := shardFiles(dir)
+	if err != nil {
+		return
+	}
+	for _, g := range snaps {
+		if g < keep {
+			_ = os.Remove(filepath.Join(dir, snapName(g)))
+		}
+	}
+	for _, g := range wals {
+		if g < keep {
+			_ = os.Remove(filepath.Join(dir, walName(g)))
+		}
+	}
+}

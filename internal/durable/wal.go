@@ -1,0 +1,296 @@
+package durable
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Mode selects the durability contract of the insert path.
+type Mode uint8
+
+// Durability modes.
+const (
+	// ModeOff disables persistence entirely: behavior is byte-identical
+	// to the in-memory system.
+	ModeOff Mode = iota
+	// ModeAsync acknowledges inserts after the in-memory apply and
+	// buffers WAL appends; a background flusher syncs them on the group
+	// commit interval. A crash can lose the last interval's records.
+	ModeAsync
+	// ModeSync holds the acknowledgement until an fsync covers the
+	// insert's record. Group commit amortizes the fsync across every
+	// append that arrived while the previous sync was in flight.
+	ModeSync
+)
+
+// String names the mode as accepted by ParseMode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAsync:
+		return "async"
+	case ModeSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode parses the -durability flag vocabulary: off, async, sync.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "async":
+		return ModeAsync, nil
+	case "sync":
+		return ModeSync, nil
+	default:
+		return ModeOff, fmt.Errorf("durable: unknown mode %q (want off, async or sync)", s)
+	}
+}
+
+// ErrWALClosed is returned by appends after Close or Crash.
+var ErrWALClosed = errors.New("durable: wal closed")
+
+// wal is one shard generation's append-only log file with group commit.
+// Appends serialize under mu into a buffered writer; a single flusher
+// goroutine turns pending appends into fsync batches, so N concurrent
+// sync-mode appends cost ~1 fsync, not N.
+type wal struct {
+	path string
+	mode Mode
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	buf     *bufio.Writer
+	seq     uint64 // records appended
+	synced  uint64 // records covered by a completed fsync
+	bytes   int64  // bytes appended (including frame headers)
+	err     error  // sticky I/O error; fails all subsequent appends
+	closed  bool
+	crashed bool
+
+	kick chan struct{} // wakes the flusher; capacity 1
+	done chan struct{} // flusher exited
+
+	m *logMetrics // shared with the owning Log; never nil
+}
+
+// openWAL opens (creating if needed) the log file for appending.
+func openWAL(path string, mode Mode, interval time.Duration, m *logMetrics) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{
+		path:  path,
+		mode:  mode,
+		f:     f,
+		buf:   bufio.NewWriterSize(f, 1<<16),
+		bytes: st.Size(),
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		m:     m,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.flusher(interval)
+	return w, nil
+}
+
+// append frames rec into the log. With waitSync it returns only after an
+// fsync covers the record (group-committed with concurrent appends);
+// otherwise it returns once the record is buffered. Callers pass the
+// mode's choice on the hot path and force waitSync for barriers like the
+// release record.
+func (w *wal) append(rec Record, waitSync bool) error {
+	frame := EncodeRecord(rec)
+	start := time.Now()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWALClosed
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.buf.Write(frame); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return err
+	}
+	w.seq++
+	my := w.seq
+	w.bytes += int64(len(frame))
+	w.mu.Unlock()
+
+	w.m.appendedRecords.Inc()
+	w.m.appendedBytes.Add(uint64(len(frame)))
+
+	if !waitSync {
+		w.m.appendLat.Record(time.Since(start))
+		return nil
+	}
+	// Group commit: wake the flusher (coalescing with other waiters) and
+	// wait until a completed fsync covers our record.
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	w.mu.Lock()
+	for w.synced < my && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	err := w.err
+	if err == nil && w.closed && w.synced < my {
+		err = ErrWALClosed
+	}
+	w.mu.Unlock()
+	w.m.appendLat.Record(time.Since(start))
+	return err
+}
+
+// flushSync flushes the buffer and fsyncs the file, then marks every
+// record appended before the flush as synced. The fsync itself runs
+// outside the mutex so new appends keep landing in the buffer — they
+// form the next batch.
+func (w *wal) flushSync() {
+	w.mu.Lock()
+	if w.closed || w.err != nil || w.synced == w.seq {
+		w.mu.Unlock()
+		return
+	}
+	if err := w.buf.Flush(); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	target := w.seq
+	f := w.f
+	w.mu.Unlock()
+
+	start := time.Now()
+	err := f.Sync()
+	w.m.fsyncLat.Record(time.Since(start))
+
+	w.mu.Lock()
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	if err == nil && target > w.synced {
+		w.m.fsyncBatches.Inc()
+		w.m.fsyncRecords.Add(target - w.synced)
+		w.synced = target
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// flusher is the group-commit loop: kicks from sync-mode appends and a
+// periodic tick (the async flush interval) both trigger one flush+fsync
+// covering everything pending.
+func (w *wal) flusher(interval time.Duration) {
+	defer close(w.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.kick:
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		closed := w.closed
+		w.mu.Unlock()
+		if closed {
+			return
+		}
+		w.flushSync()
+	}
+}
+
+// size returns the bytes appended so far (buffered or not).
+func (w *wal) size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// records returns the number of records appended so far.
+func (w *wal) records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// close flushes, fsyncs and closes the file, then stops the flusher.
+func (w *wal) close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	var flushErr error
+	if w.err == nil {
+		flushErr = w.buf.Flush()
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	f := w.f
+	w.mu.Unlock()
+
+	var syncErr error
+	if flushErr == nil {
+		syncErr = f.Sync()
+	}
+	closeErr := f.Close()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	<-w.done
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// crash closes the file descriptor without flushing the buffer — the
+// closest an in-process test can get to SIGKILL. Buffered-but-unsynced
+// records are lost, exactly as they would be from a real crash in async
+// mode; sync mode never acknowledged them.
+func (w *wal) crash() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.crashed = true
+	w.cond.Broadcast()
+	f := w.f
+	w.mu.Unlock()
+	_ = f.Close()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	<-w.done
+}

@@ -62,6 +62,10 @@ type EventKind string
 const (
 	EventSplit     EventKind = "split"
 	EventMigration EventKind = "migration"
+	// EventReadopt records a worker that was observed dead and then
+	// answered again — a durable worker restarting over its data
+	// directory and re-adopting its shards, not a fresh empty worker.
+	EventReadopt EventKind = "readopt"
 )
 
 // Event is one recorded split or migration, kept in a bounded log so the
@@ -83,12 +87,14 @@ const maxEvents = 128
 type Manager struct {
 	opts Options
 
-	mu     sync.Mutex
-	conns  map[string]*netmsg.Client
-	stats  Stats
-	events []Event         // ring, newest last
-	dead   map[string]bool // workers registered but unreachable last observe
-	skips  uint64          // balancing decisions that excluded a dead worker
+	mu          sync.Mutex
+	conns       map[string]*netmsg.Client
+	stats       Stats
+	events      []Event         // ring, newest last
+	dead        map[string]bool // workers registered but unreachable last observe
+	skips       uint64          // balancing decisions that excluded a dead worker
+	readoptions uint64          // workers seen returning from the dead
+	orphans     int             // hosted shards with no record in the image
 
 	reg *metrics.Registry
 
@@ -134,6 +140,16 @@ func New(opts Options) (*Manager, error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		return m.skips
+	})
+	reg.CounterFunc("manager_readoptions_total", func() uint64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.readoptions
+	})
+	reg.GaugeFunc("manager_orphan_shards", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.orphans)
 	})
 	return m, nil
 }
@@ -278,6 +294,14 @@ func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.Sh
 		views[meta.ID] = v
 	}
 	m.mu.Lock()
+	for id, v := range views {
+		// A worker that was dead last pass and answers now has restarted
+		// and re-adopted its shards — record the recovery.
+		if m.dead[id] && v.alive {
+			m.readoptions++
+			m.recordEvent(Event{Kind: EventReadopt, From: id, Items: v.load})
+		}
+	}
 	m.dead = make(map[string]bool, len(views))
 	for id, v := range views {
 		if !v.alive {
@@ -302,6 +326,20 @@ func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.Sh
 		}
 		shards[meta.ID] = meta
 	}
+	// Orphans: shards a worker hosts (and reports) that no global record
+	// routes to — the leftover of a crash mid-split. Data is intact but
+	// unreachable; operators watch manager_orphan_shards.
+	orphans := 0
+	for _, v := range views {
+		for id := range v.shards {
+			if _, ok := shards[id]; !ok {
+				orphans++
+			}
+		}
+	}
+	m.mu.Lock()
+	m.orphans = orphans
+	m.mu.Unlock()
 	return views, shards, nil
 }
 

@@ -1,0 +1,62 @@
+package manager
+
+import (
+	"errors"
+
+	"repro/internal/coord"
+	"repro/internal/image"
+)
+
+// This file implements the re-adoption half of worker recovery. Shard
+// records in the coordination service are persistent (only worker
+// registrations are ephemeral), so when a durable worker restarts and
+// rebuilds its shards, the global image usually still names it as the
+// owner — the restart is a re-adoption of existing records, not the
+// arrival of a fresh empty worker.
+
+// ReadoptResult summarizes one re-adoption pass.
+type ReadoptResult struct {
+	// Readopted counts recovered shards whose global record names this
+	// worker again (confirmed or re-pointed).
+	Readopted int
+	// Conflicts counts recovered shards whose record meanwhile names a
+	// different worker — the cluster moved on while this one was down, so
+	// its copy must stay unrouted (the current owner has newer data).
+	Conflicts int
+	// Orphans counts recovered shards with no global record at all: the
+	// crash interrupted an operation (typically a split) between the
+	// durable flip and the image update. Their data is intact on disk but
+	// unroutable; the manager surfaces them via manager_orphan_shards.
+	Orphans int
+}
+
+// ReadoptShards reconciles a recovered worker's shards with the global
+// image: a record that still names the worker is confirmed (the common
+// case — shard records are persistent, so nothing moved while the worker
+// was down), a record naming another worker is a conflict (that owner has
+// newer data; it is never stolen), and a missing record is an orphan. The
+// pass is read-only: routing state needs no repair precisely because
+// re-registration under the same ID re-animates the existing records.
+func ReadoptShards(co coord.Coordinator, workerID string, shards []image.ShardID) (ReadoptResult, error) {
+	var res ReadoptResult
+	for _, id := range shards {
+		raw, _, err := co.Get(image.ShardPath(id))
+		if errors.Is(err, coord.ErrNoNode) {
+			res.Orphans++
+			continue
+		}
+		if err != nil {
+			return res, err
+		}
+		meta, err := image.DecodeShardMetaBytes(raw)
+		if err != nil {
+			return res, err
+		}
+		if meta.Worker != workerID {
+			res.Conflicts++
+			continue
+		}
+		res.Readopted++
+	}
+	return res, nil
+}

@@ -89,6 +89,13 @@ func (w *Writer) Bytes1(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// Raw appends b verbatim, with no length prefix. Callers own the
+// framing (the WAL record codec length-prefixes and checksums whole
+// payloads itself).
+func (w *Writer) Raw(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+
 // Uint64s appends a length-prefixed slice of 64-bit integers using
 // varint encoding for the elements.
 func (w *Writer) Uint64s(vs []uint64) {

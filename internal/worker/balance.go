@@ -166,11 +166,40 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 		return true
 	})
 	st.store = left
+
+	// Make the flip durable while the write lock still excludes inserts:
+	// adopt the right half under its new identity, then seal the original
+	// WAL so the left-only snapshot below supersedes pre-split records. A
+	// crash before the left snapshot lands replays the full pre-split
+	// shard under the original ID while the adopted right half stays an
+	// unrouted orphan — results remain correct because the manager only
+	// publishes the new mapping after this call returns.
+	var leftBlob []byte
+	if w.dur != nil {
+		durErr := w.dur.AdoptShard(uint64(newID), right.Serialize())
+		if durErr == nil {
+			leftBlob = left.Serialize()
+			durErr = w.dur.RotateWAL(uint64(id))
+		}
+		if durErr != nil {
+			// Durable state refused the split: merge the halves back and
+			// report failure so the mapping table never flips.
+			right.Items(func(it core.Item) bool { _ = left.Insert(it); return true })
+			st.mu.Unlock()
+			return nil, durErr
+		}
+	}
 	st.mu.Unlock()
 
 	w.mu.Lock()
 	w.shards[newID] = newState
 	w.mu.Unlock()
+
+	if w.dur != nil {
+		if err := w.dur.WriteSnapshot(uint64(id), leftBlob); err != nil {
+			return nil, err
+		}
+	}
 
 	return &SplitResult{
 		LeftID: id, RightID: newID,
@@ -273,6 +302,19 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 			st.queue = nil
 			st.forward = destAddr
 			st.mu.Unlock()
+			// The destination has acknowledged the full copy (snapshot +
+			// drained queue), so release our durable ownership: a synced
+			// WAL record, a manifest tombstone, then file deletion. If the
+			// release itself fails the migration still reports failure —
+			// the mapping table keeps pointing here and the forwarding
+			// entry serves traffic, while recovery may resurrect the shard
+			// as a second complete copy (the re-registration CAS converges
+			// routing onto one of them).
+			if w.dur != nil {
+				if err := w.dur.ReleaseShard(uint64(id)); err != nil {
+					return shipped, err
+				}
+			}
 			return shipped, nil
 		}
 		fresh, err := core.NewStore(w.cfg.StoreConfig())
@@ -319,12 +361,28 @@ func (w *Worker) handleReceiveShard(_ context.Context, p []byte) ([]byte, error)
 		}
 		// Re-receiving a shard that previously migrated away: replace the
 		// forwarding tombstone.
+		if err := w.adoptDurable(id, blob); err != nil {
+			return nil, err
+		}
 		st.mu.Lock()
 		st.store = store
 		st.forward = ""
 		st.mu.Unlock()
 		return nil, nil
 	}
+	if err := w.adoptDurable(id, blob); err != nil {
+		return nil, err
+	}
 	w.shards[id] = &shardState{store: store}
 	return nil, nil
+}
+
+// adoptDurable persists an incoming shard copy before it is installed:
+// the sender only releases its own copy once this handler acknowledges,
+// so the durable adopt must precede the acknowledgement.
+func (w *Worker) adoptDurable(id image.ShardID, blob []byte) error {
+	if w.dur == nil {
+		return nil
+	}
+	return w.dur.AdoptShard(uint64(id), blob)
 }

@@ -1,0 +1,224 @@
+package worker
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/netmsg"
+)
+
+// startDurableWorker boots a worker with a durable log over dir and
+// recovers whatever the directory already holds.
+func startDurableWorker(tb testing.TB, id, dir string, mode durable.Mode) (*Worker, *durable.Recovery, *netmsg.Client) {
+	tb.Helper()
+	inprocSeq++
+	w := New(id, testConfig(tb))
+	d, err := durable.Open(dir, id, mode, durable.Config{
+		GroupInterval: time.Millisecond,
+		Metrics:       w.Metrics(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec, err := w.AttachDurability(d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	addr, err := w.Listen(fmt.Sprintf("inproc://wdur-%s-%d", id, inprocSeq))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(w.Close)
+	c, err := netmsg.Dial(addr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(c.Close)
+	return w, rec, c
+}
+
+func queryCount(tb testing.TB, w *Worker, id image.ShardID) uint64 {
+	tb.Helper()
+	agg, ok, err := w.QueryShard(context.Background(), id, keys.AllRect(w.cfg.Schema))
+	if err != nil {
+		tb.Fatalf("QueryShard: %v", err)
+	}
+	if !ok {
+		return 0
+	}
+	return agg.Count
+}
+
+// TestWorkerCrashRecover: a sync-mode worker crashes mid-life and a
+// replacement over the same directory recovers every acknowledged insert.
+func TestWorkerCrashRecover(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	w, rec, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if len(rec.Shards) != 0 {
+		t.Fatalf("fresh dir recovered %d shards", len(rec.Shards))
+	}
+	if err := w.CreateShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CreateShard(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Insert(ctx, 1, randItems(rng, w.cfg, 25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Insert(ctx, 2, randItems(rng, w.cfg, 40)); err != nil {
+		t.Fatal(err)
+	}
+	w.Crash()
+
+	w2, rec2, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if len(rec2.Shards) != 2 {
+		t.Fatalf("recovered %d shards, want 2", len(rec2.Shards))
+	}
+	if n := queryCount(t, w2, 1); n != 500 {
+		t.Errorf("shard 1 recovered %d items, want 500", n)
+	}
+	if n := queryCount(t, w2, 2); n != 40 {
+		t.Errorf("shard 2 recovered %d items, want 40", n)
+	}
+	// The recovered worker keeps serving and persisting.
+	if err := w2.Insert(ctx, 1, randItems(rng, w2.cfg, 10)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Crash()
+
+	w3, _, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if n := queryCount(t, w3, 1); n != 510 {
+		t.Errorf("shard 1 after second recovery = %d items, want 510", n)
+	}
+}
+
+// TestWorkerCheckpointRecover: an explicit checkpoint truncates the WAL
+// so recovery replays only the post-snapshot tail.
+func TestWorkerCheckpointRecover(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(8))
+
+	w, _, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if err := w.CreateShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(ctx, 1, randItems(rng, w.cfg, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CheckpointShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(ctx, 1, randItems(rng, w.cfg, 50)); err != nil {
+		t.Fatal(err)
+	}
+	w.Crash()
+
+	w2, rec, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if rec.ReplayedRecords != 1 {
+		t.Errorf("replayed %d records, want 1 (snapshot covers the first insert)", rec.ReplayedRecords)
+	}
+	if n := queryCount(t, w2, 1); n != 350 {
+		t.Errorf("recovered %d items, want 350", n)
+	}
+}
+
+// TestWorkerSplitDurable: both halves of a split survive a crash under
+// their own identities.
+func TestWorkerSplitDurable(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+
+	w, _, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if err := w.CreateShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(ctx, 1, randItems(rng, w.cfg, 400)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.SplitShard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeftCount+res.RightCount != 400 {
+		t.Fatalf("split counts %d+%d != 400", res.LeftCount, res.RightCount)
+	}
+	// Post-split inserts land in the halves' own logs.
+	if err := w.Insert(ctx, 1, randItems(rng, w.cfg, 10)); err != nil {
+		t.Fatal(err)
+	}
+	w.Crash()
+
+	w2, rec, _ := startDurableWorker(t, "w1", dir, durable.ModeSync)
+	if len(rec.Shards) != 2 {
+		t.Fatalf("recovered %d shards, want 2", len(rec.Shards))
+	}
+	left, right := queryCount(t, w2, 1), queryCount(t, w2, 2)
+	if left != res.LeftCount+10 {
+		t.Errorf("left recovered %d, want %d", left, res.LeftCount+10)
+	}
+	if right != res.RightCount {
+		t.Errorf("right recovered %d, want %d", right, res.RightCount)
+	}
+}
+
+// TestWorkerMigrateDurable: after a migration the sender's durable state
+// is a tombstone (never resurrected) and the receiver's copy survives a
+// crash.
+func TestWorkerMigrateDurable(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(10))
+
+	wa, _, _ := startDurableWorker(t, "wa", dirA, durable.ModeSync)
+	wb, _, _ := startDurableWorker(t, "wb", dirB, durable.ModeSync)
+	if err := wa.CreateShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Insert(ctx, 1, randItems(rng, wa.cfg, 200)); err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := wa.SendShard(1, wb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 200 {
+		t.Fatalf("shipped %d items, want 200", shipped)
+	}
+	// Post-migration inserts reach the receiver's log via forwarding.
+	if err := wa.Insert(ctx, 1, randItems(rng, wa.cfg, 5)); err != nil {
+		t.Fatal(err)
+	}
+	wa.Crash()
+	wb.Crash()
+
+	wa2, recA, _ := startDurableWorker(t, "wa", dirA, durable.ModeSync)
+	if len(recA.Shards) != 0 {
+		t.Fatalf("sender resurrected %d shards after migration", len(recA.Shards))
+	}
+	if recA.Released != 1 {
+		t.Errorf("sender Released = %d, want 1", recA.Released)
+	}
+	_ = wa2
+
+	wb2, recB, _ := startDurableWorker(t, "wb", dirB, durable.ModeSync)
+	if len(recB.Shards) != 1 {
+		t.Fatalf("receiver recovered %d shards, want 1", len(recB.Shards))
+	}
+	if n := queryCount(t, wb2, 1); n != 205 {
+		t.Errorf("receiver recovered %d items, want 205", n)
+	}
+}

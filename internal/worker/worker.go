@@ -11,12 +11,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/image"
 	"repro/internal/keys"
 	"repro/internal/metrics"
@@ -48,6 +50,11 @@ type Worker struct {
 	peers  map[string]*netmsg.Client // addr -> client (for forwarding/migration)
 
 	fault *netmsg.FaultInjector // chaos testing; nil in production
+
+	// durability; nil when running in the paper's pure in-memory mode
+	dur      *durable.Log
+	stopCkpt chan struct{}
+	ckptWg   sync.WaitGroup
 
 	statPublish func(*image.WorkerMeta) // set by Start when a coordinator is attached
 	stopStats   chan struct{}
@@ -223,12 +230,29 @@ func (w *Worker) ShardCount(id image.ShardID) uint64 {
 	return n
 }
 
-// Close stops the worker. It is idempotent.
+// Close stops the worker gracefully, flushing and fsyncing any attached
+// durable log. It is idempotent.
 func (w *Worker) Close() {
+	w.shutdown(false)
+}
+
+// Crash stops the worker abruptly: the durable log's file descriptors
+// are closed without flushing, the closest an in-process test can get to
+// SIGKILL. Unsynced async-mode records are lost, exactly as they would
+// be from a real crash.
+func (w *Worker) Crash() {
+	w.shutdown(true)
+}
+
+func (w *Worker) shutdown(crash bool) {
 	w.closeOnce.Do(func() {
 		if w.stopStats != nil {
 			close(w.stopStats)
 			w.statsWg.Wait()
+		}
+		if w.stopCkpt != nil {
+			close(w.stopCkpt)
+			w.ckptWg.Wait()
 		}
 		if w.srv != nil {
 			w.srv.Close()
@@ -239,6 +263,13 @@ func (w *Worker) Close() {
 		}
 		w.peers = nil
 		w.peerMu.Unlock()
+		if w.dur != nil {
+			if crash {
+				w.dur.Crash()
+			} else {
+				w.dur.Close()
+			}
+		}
 	})
 }
 
@@ -296,6 +327,11 @@ func (w *Worker) CreateShard(id image.ShardID) error {
 	defer w.mu.Unlock()
 	if _, dup := w.shards[id]; dup {
 		return fmt.Errorf("worker: shard %d already hosted", id)
+	}
+	if w.dur != nil {
+		if err := w.dur.CreateShard(uint64(id)); err != nil {
+			return err
+		}
 	}
 	w.shards[id] = &shardState{store: store}
 	return nil
@@ -406,7 +442,13 @@ func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item
 	case st.queue != nil:
 		q := st.queue
 		defer st.mu.RUnlock()
-		return q.BulkLoad(items)
+		if err := q.BulkLoad(items); err != nil {
+			return err
+		}
+		// Queued items are logged against the original shard: a split
+		// re-snapshots both halves afterwards, and a migration ships them
+		// before releasing, so replay stays consistent either way.
+		return w.appendInsert(id, items)
 	case st.store != nil:
 		s := st.store
 		defer st.mu.RUnlock()
@@ -415,7 +457,7 @@ func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item
 				return err
 			}
 		}
-		return nil
+		return w.appendInsert(id, items)
 	case st.forward != "":
 		dest := st.forward
 		st.mu.RUnlock()
@@ -449,12 +491,18 @@ func (w *Worker) handleBulkLoad(ctx context.Context, p []byte) ([]byte, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.queue != nil {
-		return nil, st.queue.BulkLoad(items)
+		if err := st.queue.BulkLoad(items); err != nil {
+			return nil, err
+		}
+		return nil, w.appendInsert(id, items)
 	}
 	if st.store == nil {
 		return nil, fmt.Errorf("worker %s: shard %d unavailable", w.id, id)
 	}
-	return nil, st.store.BulkLoad(items)
+	if err := st.store.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	return nil, w.appendInsert(id, items)
 }
 
 func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
@@ -602,6 +650,18 @@ func DecodeOpStats(b []byte) (map[string]OpLatency, error) {
 		}
 	}
 	return out, r.Err()
+}
+
+// ShardIDs lists every locally hosted shard, sorted ascending.
+func (w *Worker) ShardIDs() []image.ShardID {
+	w.mu.RLock()
+	ids := make([]image.ShardID, 0, len(w.shards))
+	for id := range w.shards {
+		ids = append(ids, id)
+	}
+	w.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // ShardCounts snapshots the item count of every locally hosted shard.

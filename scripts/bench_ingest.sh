@@ -1,0 +1,47 @@
+#!/bin/sh
+# Runs the durability ingest benchmarks and emits BENCH_ingest.json: one
+# machine-readable record per persistence contract (off/async/sync) with
+# ns per 64-item batch, batches/sec and items/sec, so CI and EXPERIMENTS
+# tables regenerate without scraping Go bench text by hand.
+#
+# Usage: scripts/bench_ingest.sh [output.json]   (default BENCH_ingest.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_ingest.json}
+BENCHTIME=${BENCHTIME:-50x}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+echo "bench_ingest: running go test -bench IngestDurability -benchtime $BENCHTIME"
+go test -bench 'BenchmarkIngestDurability' -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+
+awk '
+/^BenchmarkIngestDurability/ {
+	name = $1
+	sub(/^BenchmarkIngestDurability/, "", name)
+	sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
+	mode = tolower(name)
+	ns = 0
+	items = 64
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "items/op") items = $(i - 1)
+	}
+	if (ns > 0) {
+		modes[mode] = sprintf("\"%s\": {\"ns_per_batch\": %.0f, \"batch_items\": %.0f, \"batches_per_sec\": %.1f, \"items_per_sec\": %.1f}",
+			mode, ns, items, 1e9 / ns, 1e9 / ns * items)
+		order[n++] = mode
+	}
+}
+END {
+	if (n == 0) { print "bench_ingest: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"benchmark\": \"IngestDurability\",\n  \"unit\": \"one op = one %d-item batch through the worker ingest path\",\n  \"modes\": {\n", 64
+	for (i = 0; i < n; i++) printf "    %s%s\n", modes[order[i]], (i < n - 1 ? "," : "")
+	printf "  }\n}\n"
+}
+' "$RAW" >"$OUT"
+
+echo "bench_ingest: wrote $OUT"
+cat "$OUT"

@@ -30,12 +30,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/hierarchy"
 	"repro/internal/image"
 	"repro/internal/keys"
@@ -98,6 +100,22 @@ type (
 	FaultPoint = netmsg.FaultPoint
 	// FaultAction is what an injector does with one frame or dial.
 	FaultAction = netmsg.FaultAction
+	// DurabilityMode selects the worker persistence contract: off (the
+	// paper's pure in-memory system), async (ack after the in-memory
+	// apply, background group commit), or sync (ack only after an fsync
+	// covers the insert's WAL record).
+	DurabilityMode = durable.Mode
+	// RecoveryReport says what a restarted worker rebuilt from its data
+	// directory: recovered shards, replayed WAL records/bytes, truncated
+	// torn tails, honored release tombstones, and wall-clock duration.
+	RecoveryReport = durable.Recovery
+)
+
+// Durability modes.
+const (
+	DurabilityOff   = durable.ModeOff
+	DurabilityAsync = durable.ModeAsync
+	DurabilitySync  = durable.ModeSync
 )
 
 // Fault actions and kinds, re-exported for rule construction.
@@ -229,6 +247,16 @@ type Options struct {
 	// (server→worker, worker→worker, manager→worker, and the serving
 	// sides) for chaos testing. Production deployments leave it nil.
 	Fault *FaultInjector
+
+	// Durability selects the worker persistence contract (default off —
+	// byte-identical to the paper's in-memory system). With async or
+	// sync, every worker keeps per-shard WALs and snapshots under
+	// DataDir/<workerID> and survives KillWorker + RestartWorker with its
+	// shards intact.
+	Durability DurabilityMode
+	// DataDir is the root directory for worker durable state; required
+	// when Durability is not off.
+	DataDir string
 }
 
 var clusterSeq atomic.Uint64
@@ -292,6 +320,9 @@ func (o *Options) defaults() error {
 	}
 	if o.SessionTTL <= 0 {
 		o.SessionTTL = 5 * time.Second
+	}
+	if o.Durability != DurabilityOff && o.DataDir == "" {
+		return errors.New("volap: Options.DataDir is required when Durability is enabled")
 	}
 	return nil
 }
@@ -418,12 +449,36 @@ func (c *Cluster) registerWorker(w *worker.Worker, id string) (*coord.Session, e
 	return sess, nil
 }
 
-// startWorker boots one worker with its initial shards.
+// openDurability attaches a durable log rooted at DataDir/<id> and
+// recovers whatever the directory already holds. Returns nil when the
+// cluster runs durability-off (the paper's in-memory mode).
+func (c *Cluster) openDurability(w *worker.Worker, id string) (*durable.Recovery, error) {
+	if c.opts.Durability == DurabilityOff {
+		return nil, nil
+	}
+	d, err := durable.Open(filepath.Join(c.opts.DataDir, id), id, c.opts.Durability, durable.Config{
+		Metrics: w.Metrics(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w.AttachDurability(d)
+}
+
+// startWorker boots one worker with its initial shards. A durable worker
+// whose data directory already holds shards (recovery) keeps those
+// instead of creating fresh ones.
 func (c *Cluster) startWorker() (string, error) {
 	id := fmt.Sprintf("w%d", len(c.workers))
 	w := worker.New(id, c.cfg)
 	w.SetFaults(c.opts.Fault)
+	rec, err := c.openDurability(w, id)
+	if err != nil {
+		w.Close()
+		return "", err
+	}
 	if _, err := w.Listen(c.addrFor("worker", id)); err != nil {
+		w.Close()
 		return "", err
 	}
 	if _, err := c.registerWorker(w, id); err != nil {
@@ -431,6 +486,17 @@ func (c *Cluster) startWorker() (string, error) {
 		return "", err
 	}
 	co := c.coordinator()
+
+	if rec != nil && len(rec.Shards) > 0 {
+		// Recovered shards: reconcile with the global image instead of
+		// minting fresh ones.
+		if _, err := manager.ReadoptShards(co, id, w.ShardIDs()); err != nil {
+			w.Close()
+			return "", err
+		}
+		c.workers = append(c.workers, w)
+		return id, nil
+	}
 
 	first, err := manager.AllocShardIDs(co, uint64(c.opts.ShardsPerWorker))
 	if err != nil {
@@ -492,12 +558,71 @@ func (c *Cluster) KillWorker(id string) error {
 	}
 	// Stop the worker first: its stats loop publishes through the
 	// session, and a publish after the TTL reaps the node would open a
-	// fresh session and resurrect the registration.
-	w.Close()
+	// fresh session and resurrect the registration. Crash (not Close)
+	// drops any durable log on the floor without flushing, so only
+	// acknowledged writes survive — exactly a SIGKILL.
+	w.Crash()
 	if sess := c.sessions[id]; sess != nil {
 		sess.Abandon()
 	}
 	return nil
+}
+
+// RestartWorker replaces a killed worker with a fresh process over the
+// same identity: same ID, same listen address, and — when the cluster
+// runs durable — the same data directory, so the new worker recovers
+// every shard the old one owned (snapshots + WAL replay) and re-adopts
+// its persistent shard records in the global image. Returns the recovery
+// report (nil when durability is off, in which case the restarted worker
+// comes back empty and relies on the manager to re-place data).
+func (c *Cluster) RestartWorker(id string) (*RecoveryReport, error) {
+	idx := -1
+	for i, cand := range c.workers {
+		if cand.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("volap: no worker %q", id)
+	}
+	// Make sure the old incarnation is fully down: Crash is idempotent,
+	// and its closed listener frees the inproc address for rebinding.
+	c.workers[idx].Crash()
+	if sess := c.sessions[id]; sess != nil {
+		sess.Abandon()
+		delete(c.sessions, id)
+	}
+	// The abandoned session's ephemeral registration may still linger
+	// (TTL not yet expired); clear it so the new registration is not a
+	// stale-address ghost.
+	if err := c.store.Delete(image.WorkerPath(id), coord.AnyVersion); err != nil && !errors.Is(err, coord.ErrNoNode) {
+		return nil, err
+	}
+
+	w := worker.New(id, c.cfg)
+	w.SetFaults(c.opts.Fault)
+	rec, err := c.openDurability(w, id)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if _, err := w.Listen(c.addrFor("worker", id)); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if _, err := c.registerWorker(w, id); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if rec != nil && len(rec.Shards) > 0 {
+		if _, err := manager.ReadoptShards(c.coordinator(), id, w.ShardIDs()); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	c.workers[idx] = w
+	return rec, nil
 }
 
 // Schema returns the cluster's schema.
