@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-ingest examples smoke
+.PHONY: check fmt vet build test race bench bench-ingest bench-worker examples smoke
 
 # The standard gate: everything CI (and the tier-1 verify) runs.
 check: fmt vet build race
@@ -31,6 +31,11 @@ bench: bench-ingest
 # as BENCH_ingest.json.
 bench-ingest:
 	./scripts/bench_ingest.sh
+
+# Intra-worker parallelism: ingest-pipeline ack latency and multi-shard
+# query fan-out scaling, emitted machine-readable as BENCH_worker.json.
+bench-worker:
+	./scripts/bench_worker.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -184,6 +184,18 @@ func TestChaosKillWorkerMidInsertStream(t *testing.T) {
 // acknowledged insert — queries converge back to full results with zero
 // missing shards.
 func TestChaosKillRestartRecover(t *testing.T) {
+	chaosKillRestartRecover(t, 0)
+}
+
+// TestChaosKillRestartRecoverPipeline is the same crash/recover drill
+// with the asynchronous ingest pipeline enabled: acknowledgements now
+// race the background drains, but sync durability still guarantees no
+// acked-and-lost items across Crash + RestartWorker.
+func TestChaosKillRestartRecoverPipeline(t *testing.T) {
+	chaosKillRestartRecover(t, 2)
+}
+
+func chaosKillRestartRecover(t *testing.T, ingestWorkers int) {
 	c, err := Start(Options{
 		Schema:          TPCDSSchema(),
 		Workers:         2,
@@ -195,6 +207,7 @@ func TestChaosKillRestartRecover(t *testing.T) {
 		SessionTTL:      time.Second,
 		Durability:      DurabilitySync,
 		DataDir:         t.TempDir(),
+		IngestWorkers:   ingestWorkers,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -99,12 +99,29 @@ func (t *tree) BulkLoad(items []Item) error {
 	return nil
 }
 
-// bulkInsert is the fallback per-item path.
+// bulkInsert is the fallback per-item path for already-populated
+// stores; BulkLoad validated the items. In Hilbert mode the batch is
+// pre-sorted by compact Hilbert index first, so consecutive descents
+// walk neighboring root-to-leaf paths and leaf insertions cluster
+// instead of scattering (§III-E's sorted drain batches).
 func (t *tree) bulkInsert(items []Item) error {
-	for _, it := range items {
-		if err := t.Insert(it); err != nil {
-			return err
+	if !t.hilbertMode() {
+		for _, it := range items {
+			t.insert(it, hilbert.Index{})
 		}
+		return nil
+	}
+	idx := make([]hilbert.Index, len(items))
+	for i := range items {
+		idx[i] = t.hilbertOf(items[i].Coords)
+	}
+	perm := make([]int, len(items))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return idx[perm[a]].Less(idx[perm[b]]) })
+	for _, p := range perm {
+		t.insert(items[p], idx[p])
 	}
 	return nil
 }

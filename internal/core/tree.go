@@ -129,7 +129,14 @@ func (t *tree) Insert(it Item) error {
 	if t.hilbertMode() {
 		h = t.hilbertOf(it.Coords)
 	}
+	t.insert(it, h)
+	return nil
+}
 
+// insert places one validated item whose Hilbert index (zero outside
+// Hilbert mode) the caller already computed — the shared descent behind
+// Insert and the sorted batches of bulkInsert.
+func (t *tree) insert(it Item, h hilbert.Index) {
 	// Admission: lock the root via the anchor, splitting a full root
 	// first (the only place the tree grows in height).
 	t.anchor.Lock()
@@ -194,7 +201,6 @@ func (t *tree) Insert(it Item) error {
 		cur = child
 	}
 	t.count.Add(1)
-	return nil
 }
 
 // leafInsert places the item inside a non-full, write-locked leaf.

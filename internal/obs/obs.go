@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"repro/internal/metrics"
@@ -46,6 +48,18 @@ func Serve(addr string, reg *metrics.Registry, debug func() any) (*Server, error
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(payload)
 	})
+	// pprof rides on the same opt-in endpoint, so mutex/block profiles of
+	// the worker's ingest and query pools are one curl away. Sampling
+	// rates are modest: profiling overhead stays off the data path until
+	// a profile is actually requested, and contention sampling at these
+	// rates is noise-level.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	runtime.SetMutexProfileFraction(16)
+	runtime.SetBlockProfileRate(int(time.Millisecond)) // sample blocking >= ~1ms-scale
 	s := &Server{ln: ln, http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.http.Serve(ln) }()
 	return s, nil

@@ -122,6 +122,11 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 		st.mu.Unlock()
 		return nil, fmt.Errorf("worker %s: shard %d busy or gone", w.id, id)
 	}
+	// Flush buffered inserts into the store before the queue takes
+	// over, so the split plan and both halves observe every
+	// acknowledged item; while the queue is installed, inserts bypass
+	// the buffer entirely.
+	w.drainLocked(st)
 	st.queue = queue
 	st.mu.Unlock()
 
@@ -147,7 +152,8 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 	}
 
 	// Swap in the halves, draining the queue across them by hyperplane.
-	newState := &shardState{store: right}
+	newState := w.newShardState(newID)
+	newState.store = right
 	st.mu.Lock()
 	q := st.queue
 	st.queue = nil
@@ -252,6 +258,9 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 		st.mu.Unlock()
 		return 0, fmt.Errorf("worker %s: shard %d busy or gone", w.id, id)
 	}
+	// As in SplitShard: the serialized snapshot below must contain every
+	// acknowledged item, and the queue absorbs everything after it.
+	w.drainLocked(st)
 	st.queue = queue
 	st.mu.Unlock()
 
@@ -373,7 +382,9 @@ func (w *Worker) handleReceiveShard(_ context.Context, p []byte) ([]byte, error)
 	if err := w.adoptDurable(id, blob); err != nil {
 		return nil, err
 	}
-	w.shards[id] = &shardState{store: store}
+	st := w.newShardState(id)
+	st.store = store
+	w.shards[id] = st
 	return nil, nil
 }
 

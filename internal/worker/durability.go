@@ -46,7 +46,9 @@ func (w *Worker) AttachDurability(d *durable.Log) (*durable.Recovery, error) {
 			w.mu.Unlock()
 			return nil, fmt.Errorf("worker %s: recovered shard %d already hosted", w.id, id)
 		}
-		w.shards[sid] = &shardState{store: store}
+		st := w.newShardState(sid)
+		st.store = store
+		w.shards[sid] = st
 	}
 	w.dur = d
 	w.mu.Unlock()
@@ -82,11 +84,15 @@ func (w *Worker) CheckpointShard(id image.ShardID) error {
 	}
 	// The write lock excludes in-flight apply+append pairs: the serialized
 	// blob contains every record of the generations the rotation seals.
+	// Buffered items were WAL-logged at ack time, so they must be flushed
+	// into the store before it is serialized — otherwise the rotation
+	// would seal their records out of replay.
 	st.mu.Lock()
 	if st.store == nil || st.queue != nil {
 		st.mu.Unlock()
 		return nil
 	}
+	w.drainLocked(st)
 	blob := st.store.Serialize()
 	err := w.dur.RotateWAL(uint64(id))
 	st.mu.Unlock()

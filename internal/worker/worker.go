@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,18 +29,61 @@ import (
 
 // shardState is one hosted shard. The store itself is internally
 // concurrent; the state's lock guards the queue/forward transitions made
-// by load-balancing operations (§III-E mapping table).
+// by load-balancing operations (§III-E mapping table) and the moves of
+// buffered items into the store (see ingest.go).
 type shardState struct {
 	mu      sync.RWMutex
 	store   core.Store
 	queue   core.Store // non-nil while a split or migration is in progress
 	forward string     // destination worker address after migration
+
+	buf *ingestBuf // insertion buffer; non-nil when the ingest pipeline is on
+
+	// Per-shard metric handles, resolved once at creation so the hot
+	// insert/query paths skip label formatting and map lookups.
+	insertLat *metrics.Histogram
+	queryLat  *metrics.Histogram
+	items     *metrics.Gauge
+}
+
+// Options tunes a worker's intra-node parallelism. The zero value
+// reproduces the paper's synchronous single-threaded-per-request
+// behavior exactly.
+type Options struct {
+	// IngestWorkers is the size of the background drain pool of the
+	// asynchronous ingest pipeline. 0 (the default) disables the
+	// pipeline: inserts apply inline on the RPC goroutine before the
+	// ack, byte-for-byte today's semantics.
+	IngestWorkers int
+	// MaxPendingItems bounds each shard's insertion buffer; an insert
+	// that would overflow it blocks until a drain frees room
+	// (backpressure). 0 means DefaultMaxPendingItems.
+	MaxPendingItems int
+	// QueryParallelism bounds the per-request shard fan-out of
+	// multi-shard queries and the root fan-out of single-shard tree
+	// queries. 0 means GOMAXPROCS; 1 forces sequential processing.
+	QueryParallelism int
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.IngestWorkers < 0 {
+		o.IngestWorkers = 0
+	}
+	if o.MaxPendingItems <= 0 {
+		o.MaxPendingItems = DefaultMaxPendingItems
+	}
+	if o.QueryParallelism <= 0 {
+		o.QueryParallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
 }
 
 // Worker is one worker node.
 type Worker struct {
 	id   string
 	cfg  *image.ClusterConfig
+	opts Options
 	srv  *netmsg.Server
 	addr string
 
@@ -56,6 +100,11 @@ type Worker struct {
 	stopCkpt chan struct{}
 	ckptWg   sync.WaitGroup
 
+	// ingest pipeline drain pool (see ingest.go); nil channels when off
+	ingestCh   chan *shardState
+	stopIngest chan struct{}
+	ingestWg   sync.WaitGroup
+
 	statPublish func(*image.WorkerMeta) // set by Start when a coordinator is attached
 	stopStats   chan struct{}
 	statsWg     sync.WaitGroup
@@ -68,6 +117,13 @@ type Worker struct {
 	queryLat   *metrics.HistogramVec // worker_query_seconds{shard}
 	shardItems *metrics.GaugeVec     // worker_shard_items{shard}
 	forwards   *metrics.Counter      // worker_forwards_total
+
+	// Pipeline metrics. The two histograms record counts, not
+	// durations: a value of n is stored as n on the histogram's
+	// microsecond scale, so percentiles read back as plain counts.
+	ingestItems   *metrics.Gauge     // worker_ingest_queue_items
+	drainBatch    *metrics.Histogram // worker_drain_batch_items
+	queryParallel *metrics.Histogram // worker_query_parallel_shards
 }
 
 // MovedPrefix is the error prefix returned when a shard has migrated
@@ -91,21 +147,57 @@ func IsStaleRouteMsg(msg string) bool {
 	return strings.Contains(msg, MovedPrefix) || strings.Contains(msg, unknownShardFrag)
 }
 
-// New builds a worker (not yet listening).
+// New builds a worker (not yet listening) with default options: the
+// synchronous ingest path and GOMAXPROCS query parallelism.
 func New(id string, cfg *image.ClusterConfig) *Worker {
+	return NewWithOptions(id, cfg, Options{})
+}
+
+// NewWithOptions builds a worker with explicit parallelism options.
+func NewWithOptions(id string, cfg *image.ClusterConfig, opts Options) *Worker {
+	opts = opts.withDefaults()
 	reg := metrics.NewRegistry()
-	return &Worker{
-		id:         id,
-		cfg:        cfg,
-		shards:     make(map[image.ShardID]*shardState),
-		peers:      make(map[string]*netmsg.Client),
-		reg:        reg,
-		trace:      metrics.NewTraceLog(0),
-		insertLat:  reg.Histogram("worker_insert_seconds", "shard"),
-		queryLat:   reg.Histogram("worker_query_seconds", "shard"),
-		shardItems: reg.Gauge("worker_shard_items", "shard"),
-		forwards:   reg.Counter("worker_forwards_total").With(),
+	w := &Worker{
+		id:            id,
+		cfg:           cfg,
+		opts:          opts,
+		shards:        make(map[image.ShardID]*shardState),
+		peers:         make(map[string]*netmsg.Client),
+		reg:           reg,
+		trace:         metrics.NewTraceLog(0),
+		insertLat:     reg.Histogram("worker_insert_seconds", "shard"),
+		queryLat:      reg.Histogram("worker_query_seconds", "shard"),
+		shardItems:    reg.Gauge("worker_shard_items", "shard"),
+		forwards:      reg.Counter("worker_forwards_total").With(),
+		ingestItems:   reg.Gauge("worker_ingest_queue_items").With(),
+		drainBatch:    reg.Histogram("worker_drain_batch_items").With(),
+		queryParallel: reg.Histogram("worker_query_parallel_shards").With(),
 	}
+	if opts.IngestWorkers > 0 {
+		w.ingestCh = make(chan *shardState, 256)
+		w.stopIngest = make(chan struct{})
+		w.ingestWg.Add(opts.IngestWorkers)
+		for i := 0; i < opts.IngestWorkers; i++ {
+			go w.ingestLoop()
+		}
+	}
+	return w
+}
+
+// newShardState builds the state for one hosted shard, resolving its
+// metric handles once and attaching an insertion buffer when the ingest
+// pipeline is enabled.
+func (w *Worker) newShardState(id image.ShardID) *shardState {
+	lbl := shardLabel(id)
+	st := &shardState{
+		insertLat: w.insertLat.With(lbl),
+		queryLat:  w.queryLat.With(lbl),
+		items:     w.shardItems.With(lbl),
+	}
+	if w.opts.IngestWorkers > 0 {
+		st.buf = newIngestBuf(w.opts.MaxPendingItems)
+	}
+	return st
 }
 
 // ID returns the worker's identifier.
@@ -193,21 +285,32 @@ func (w *Worker) Meta() *image.WorkerMeta {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	m := &image.WorkerMeta{ID: w.id, Addr: w.addr, UpdatedMs: time.Now().UnixMilli()}
-	for id, st := range w.shards {
+	for _, st := range w.shards {
 		st.mu.RLock()
 		if st.store != nil {
-			n := st.store.Count()
-			if st.queue != nil {
-				n += st.queue.Count()
-			}
+			n := shardItemsLocked(st)
 			m.Shards++
 			m.Items += n
 			m.MemBytes += st.store.MemoryBytes()
-			w.shardItems.Set(float64(n), shardLabel(id))
+			st.items.Set(float64(n))
 		}
 		st.mu.RUnlock()
 	}
 	return m
+}
+
+// shardItemsLocked counts a shard's items across store, queue and
+// insertion buffer. The caller holds the shard's (read) lock and has
+// checked store != nil.
+func shardItemsLocked(st *shardState) uint64 {
+	n := st.store.Count()
+	if st.queue != nil {
+		n += st.queue.Count()
+	}
+	if st.buf != nil {
+		n += uint64(st.buf.len())
+	}
+	return n
 }
 
 // ShardCount returns the item count of one shard (0 if absent).
@@ -226,6 +329,9 @@ func (w *Worker) ShardCount(id image.ShardID) uint64 {
 	}
 	if st.queue != nil {
 		n += st.queue.Count()
+	}
+	if st.buf != nil {
+		n += uint64(st.buf.len())
 	}
 	return n
 }
@@ -256,6 +362,16 @@ func (w *Worker) shutdown(crash bool) {
 		}
 		if w.srv != nil {
 			w.srv.Close()
+		}
+		if w.stopIngest != nil {
+			close(w.stopIngest)
+			w.ingestWg.Wait()
+			if !crash {
+				// Graceful close: apply every acknowledged item. A crash
+				// skips this — buffered items survive only through the
+				// WAL, exactly like the old in-flight applies.
+				w.Flush()
+			}
 		}
 		w.peerMu.Lock()
 		for _, c := range w.peers {
@@ -333,7 +449,9 @@ func (w *Worker) CreateShard(id image.ShardID) error {
 			return err
 		}
 	}
-	w.shards[id] = &shardState{store: store}
+	st := w.newShardState(id)
+	st.store = store
+	w.shards[id] = st
 	return nil
 }
 
@@ -350,15 +468,28 @@ func encodeItems(w *wire.Writer, dims int, items []core.Item) {
 	}
 }
 
-// decodeItems reads items written by encodeItems.
+// decodeItems reads items written by encodeItems. All coordinate slices
+// sub-slice one flat backing array, so a batch costs two allocations
+// instead of one per item on the hot RPC decode path.
 func decodeItems(r *wire.Reader, dims int) ([]core.Item, error) {
 	n := r.Uvarint()
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Every item occupies at least one varint byte per coordinate plus
+	// an 8-byte measure, so a hostile count cannot force a huge
+	// allocation out of a short payload.
+	if minBytes := uint64(dims + 8); n > uint64(r.Remaining())/minBytes {
+		return nil, fmt.Errorf("worker: item count %d exceeds payload", n)
+	}
+	flat := make([]uint64, int(n)*dims)
 	items := make([]core.Item, 0, n)
 	for i := uint64(0); i < n; i++ {
-		coords := make([]uint64, dims)
+		coords := flat[:dims:dims]
+		flat = flat[dims:]
 		for d := range coords {
 			coords[d] = r.Uvarint()
 		}
@@ -427,15 +558,24 @@ func (w *Worker) handleInsert(ctx context.Context, p []byte) ([]byte, error) {
 	return nil, w.Insert(ctx, id, items)
 }
 
-// Insert applies items to a shard, diverting to the insertion queue
-// during load-balancing operations and forwarding (with the caller's
-// trace context) after a migration.
+// Insert applies items to a shard: through the asynchronous ingest
+// pipeline when it is enabled (ack after buffer append + WAL append),
+// otherwise inline on the calling goroutine; diverting to the insertion
+// queue during load-balancing operations and forwarding (with the
+// caller's trace context) after a migration.
 func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item) error {
 	w.traceAdd(ctx, "worker.insert", "shard "+shardLabel(id))
-	defer w.insertLat.With(shardLabel(id)).Time()()
 	st := w.shard(id)
 	if st == nil {
 		return fmt.Errorf("worker %s: unknown shard %d", w.id, id)
+	}
+	defer st.insertLat.Time()()
+	if st.buf != nil {
+		if handled, err := w.insertBuffered(ctx, st, id, items); handled {
+			return err
+		}
+		// Queue active, forwarded, or gone: fall through to the
+		// synchronous paths, which handle those states.
 	}
 	st.mu.RLock()
 	switch {
@@ -452,10 +592,11 @@ func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item
 	case st.store != nil:
 		s := st.store
 		defer st.mu.RUnlock()
-		for _, it := range items {
-			if err := s.Insert(it); err != nil {
-				return err
-			}
+		// Validate-then-bulk-apply: BulkLoad rejects the whole batch
+		// before touching the store and, in Hilbert mode, applies it in
+		// curve order (every store implements it natively).
+		if err := s.BulkLoad(items); err != nil {
+			return err
 		}
 		return w.appendInsert(id, items)
 	case st.forward != "":
@@ -483,11 +624,11 @@ func (w *Worker) handleBulkLoad(ctx context.Context, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	w.traceAdd(ctx, "worker.bulkload", "shard "+shardLabel(id))
-	defer w.insertLat.With(shardLabel(id)).Time()()
 	st := w.shard(id)
 	if st == nil {
 		return nil, fmt.Errorf("worker %s: unknown shard %d", w.id, id)
 	}
+	defer st.insertLat.Time()()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if st.queue != nil {
@@ -515,24 +656,111 @@ func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	w.traceAdd(ctx, "worker.query", "")
-	agg := core.NewAggregate()
-	searched := uint32(0)
+	ids := make([]image.ShardID, 0, n)
 	for i := uint64(0); i < n; i++ {
-		id := image.ShardID(r.Uvarint())
-		part, ok, err := w.QueryShard(ctx, id, q)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			agg.Merge(part)
-			searched++
-		}
+		ids = append(ids, image.ShardID(r.Uvarint()))
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	w.traceAdd(ctx, "worker.query", "")
+	agg, searched, err := w.QueryShards(ctx, q, ids)
+	if err != nil {
+		return nil, err
 	}
 	out := wire.NewWriter(40)
 	agg.Encode(out)
 	out.Uvarint(uint64(searched))
 	return out.Bytes(), nil
+}
+
+// QueryShards aggregates a set of shards, fanning them across up to
+// Options.QueryParallelism goroutines with per-shard partial merge; the
+// first error cancels the remaining shards' contexts. Single-shard
+// requests instead fan out across the tree's root subtrees
+// (core.ParallelQuerier). Returns the merged aggregate and how many
+// shards contributed.
+func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.ShardID) (core.Aggregate, uint32, error) {
+	par := w.opts.QueryParallelism
+	if len(ids) <= 1 || par <= 1 {
+		// Sequential path; a lone shard still parallelizes inside its
+		// tree when it is the only work on the request.
+		agg := core.NewAggregate()
+		searched := uint32(0)
+		treePar := 1
+		if len(ids) == 1 {
+			treePar = par
+		}
+		for _, id := range ids {
+			part, ok, err := w.queryShard(ctx, id, q, treePar)
+			if err != nil {
+				return core.NewAggregate(), 0, err
+			}
+			if ok {
+				agg.Merge(part)
+				searched++
+			}
+		}
+		return agg, searched, nil
+	}
+
+	if par > len(ids) {
+		par = len(ids)
+	}
+	w.queryParallel.Record(time.Duration(par) * time.Microsecond)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type partial struct {
+		agg core.Aggregate
+		ok  bool
+		err error
+	}
+	parts := make([]partial, len(ids))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for g := 0; g < par; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					parts[i].err = ctx.Err()
+					continue
+				}
+				agg, ok, err := w.queryShard(ctx, ids[i], q, 1)
+				parts[i] = partial{agg: agg, ok: ok, err: err}
+				if err != nil {
+					cancel() // first error stops the fan-out
+				}
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Merge in shard order so float sums stay deterministic for a given
+	// request; report the first real error (not a cancellation echo).
+	agg := core.NewAggregate()
+	searched := uint32(0)
+	var firstErr error
+	for _, p := range parts {
+		if p.err != nil && (firstErr == nil || errors.Is(firstErr, context.Canceled)) {
+			firstErr = p.err
+		}
+	}
+	if firstErr != nil {
+		return core.NewAggregate(), 0, firstErr
+	}
+	for _, p := range parts {
+		if p.ok {
+			agg.Merge(p.agg)
+			searched++
+		}
+	}
+	return agg, searched, nil
 }
 
 // QueryShard aggregates one shard (including its insertion queue, so
@@ -542,11 +770,17 @@ func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 // (false for unknown shards, which can happen transiently when a
 // server's image is ahead of this worker).
 func (w *Worker) QueryShard(ctx context.Context, id image.ShardID, q keys.Rect) (core.Aggregate, bool, error) {
-	defer w.queryLat.With(shardLabel(id)).Time()()
+	return w.queryShard(ctx, id, q, 1)
+}
+
+// queryShard is QueryShard with an explicit tree-level parallelism
+// bound, used by QueryShards when a single shard dominates the request.
+func (w *Worker) queryShard(ctx context.Context, id image.ShardID, q keys.Rect, treePar int) (core.Aggregate, bool, error) {
 	st := w.shard(id)
 	if st == nil {
 		return core.NewAggregate(), false, nil
 	}
+	defer st.queryLat.Time()()
 	st.mu.RLock()
 	store, queue, forward := st.store, st.queue, st.forward
 	if store == nil && forward != "" {
@@ -568,13 +802,21 @@ func (w *Worker) QueryShard(ctx context.Context, id image.ShardID, q keys.Rect) 
 		st.mu.RUnlock()
 		return core.NewAggregate(), false, nil
 	}
-	// Hold the read lock so the queue cannot be drained-and-destroyed
-	// between querying the store and the queue (no double or zero count:
-	// drain swaps happen under the write lock).
+	// Hold the read lock so the queue and insertion buffer cannot be
+	// drained-and-destroyed between querying the store and them (no
+	// double or zero count: drain moves happen under the write lock).
 	defer st.mu.RUnlock()
-	agg := store.Query(q)
+	var agg core.Aggregate
+	if pq, ok := store.(core.ParallelQuerier); ok && treePar > 1 {
+		agg = pq.QueryParallel(q, treePar)
+	} else {
+		agg = store.Query(q)
+	}
 	if queue != nil {
 		agg.Merge(queue.Query(q))
+	}
+	if st.buf != nil {
+		agg.Merge(st.buf.query(q))
 	}
 	return agg, true, nil
 }
@@ -680,11 +922,7 @@ func (w *Worker) ShardCounts() map[image.ShardID]uint64 {
 		}
 		st.mu.RLock()
 		if st.store != nil {
-			n := st.store.Count()
-			if st.queue != nil {
-				n += st.queue.Count()
-			}
-			out[id] = n
+			out[id] = shardItemsLocked(st)
 		}
 		st.mu.RUnlock()
 	}

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Runs the intra-worker parallelism benchmarks and emits BENCH_worker.json:
+# one record per ingest-pipeline configuration (inline apply vs 1/2/4/8
+# background drain goroutines, measuring insert ack latency per 64-item
+# batch) and one per query fan-out width (sequential vs 2/4/8 goroutines
+# over 8 shards), with speedups against the sequential baselines. The host
+# CPU count is recorded alongside: fan-out speedup is bounded by physical
+# cores, so single-core hosts legitimately report ~1.0x there.
+#
+# Usage: scripts/bench_worker.sh [output.json]   (default BENCH_worker.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_worker.json}
+BENCHTIME=${BENCHTIME:-50x}
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+echo "bench_worker: running go test -bench 'WorkerIngestParallel|WorkerQueryFanout' -benchtime $BENCHTIME"
+go test -bench 'BenchmarkWorkerIngestParallel|BenchmarkWorkerQueryFanout' -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+
+awk -v cpus="$CPUS" '
+/^BenchmarkWorkerIngestParallel\// {
+	name = $1
+	sub(/^BenchmarkWorkerIngestParallel\//, "", name)
+	sub(/-[0-9]+$/, "", name)          # strip GOMAXPROCS suffix
+	ns = 0
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+	if (ns > 0) { ingest[name] = ns; iorder[ni++] = name }
+}
+/^BenchmarkWorkerQueryFanout\// {
+	name = $1
+	sub(/^BenchmarkWorkerQueryFanout\//, "", name)
+	sub(/-[0-9]+$/, "", name)
+	ns = 0
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+	if (ns > 0) { fanout[name] = ns; forder[nf++] = name }
+}
+END {
+	if (ni == 0 || nf == 0) { print "bench_worker: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n  \"benchmark\": \"WorkerParallelism\",\n  \"cpus\": %d,\n", cpus
+	printf "  \"ingest\": {\n    \"unit\": \"one op = one 64-item insert RPC ack (inline applies before the ack; workersN ack after buffer+WAL append)\",\n"
+	base = ingest["inline"]
+	for (i = 0; i < ni; i++) {
+		m = iorder[i]
+		printf "    \"%s\": {\"ns_per_batch\": %.0f, \"batches_per_sec\": %.1f, \"ack_speedup_vs_inline\": %.2f}%s\n",
+			m, ingest[m], 1e9 / ingest[m], base / ingest[m], (i < ni - 1 ? "," : "")
+	}
+	printf "  },\n  \"query_fanout\": {\n    \"unit\": \"one op = one medium-coverage query over 8 shards x 20000 items\",\n"
+	base = fanout["seq"]
+	for (i = 0; i < nf; i++) {
+		m = forder[i]
+		printf "    \"%s\": {\"ns_per_query\": %.0f, \"queries_per_sec\": %.1f, \"speedup_vs_seq\": %.2f}%s\n",
+			m, fanout[m], 1e9 / fanout[m], base / fanout[m], (i < nf - 1 ? "," : "")
+	}
+	printf "  }\n}\n"
+}
+' "$RAW" >"$OUT"
+
+echo "bench_worker: wrote $OUT"
+cat "$OUT"

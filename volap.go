@@ -248,6 +248,21 @@ type Options struct {
 	// sides) for chaos testing. Production deployments leave it nil.
 	Fault *FaultInjector
 
+	// IngestWorkers sizes each worker's background drain pool for the
+	// asynchronous insertion pipeline (§III-E). 0 (the default) keeps
+	// inserts synchronous — applied inline on the RPC goroutine, today's
+	// behavior byte for byte. With n > 0, inserts acknowledge after
+	// buffer + WAL append and n goroutines apply buffered batches.
+	IngestWorkers int
+	// MaxPendingItems bounds each shard's insertion buffer; inserts
+	// beyond it block (backpressure). 0 = worker default (64Ki items).
+	// Only meaningful with IngestWorkers > 0.
+	MaxPendingItems int
+	// QueryParallelism bounds how many shards one query request fans
+	// across concurrently inside a worker (0 = GOMAXPROCS, 1 =
+	// sequential).
+	QueryParallelism int
+
 	// Durability selects the worker persistence contract (default off —
 	// byte-identical to the paper's in-memory system). With async or
 	// sync, every worker keeps per-shard WALs and snapshots under
@@ -321,10 +336,28 @@ func (o *Options) defaults() error {
 	if o.SessionTTL <= 0 {
 		o.SessionTTL = 5 * time.Second
 	}
+	if o.IngestWorkers < 0 {
+		return fmt.Errorf("volap: Options.IngestWorkers = %d must not be negative", o.IngestWorkers)
+	}
+	if o.MaxPendingItems < 0 {
+		return fmt.Errorf("volap: Options.MaxPendingItems = %d must not be negative", o.MaxPendingItems)
+	}
+	if o.QueryParallelism < 0 {
+		return fmt.Errorf("volap: Options.QueryParallelism = %d must not be negative", o.QueryParallelism)
+	}
 	if o.Durability != DurabilityOff && o.DataDir == "" {
 		return errors.New("volap: Options.DataDir is required when Durability is enabled")
 	}
 	return nil
+}
+
+// workerOpts translates the cluster options into per-worker tuning.
+func (o *Options) workerOpts() worker.Options {
+	return worker.Options{
+		IngestWorkers:    o.IngestWorkers,
+		MaxPendingItems:  o.MaxPendingItems,
+		QueryParallelism: o.QueryParallelism,
+	}
 }
 
 // Cluster is a running VOLAP deployment.
@@ -470,7 +503,7 @@ func (c *Cluster) openDurability(w *worker.Worker, id string) (*durable.Recovery
 // instead of creating fresh ones.
 func (c *Cluster) startWorker() (string, error) {
 	id := fmt.Sprintf("w%d", len(c.workers))
-	w := worker.New(id, c.cfg)
+	w := worker.NewWithOptions(id, c.cfg, c.opts.workerOpts())
 	w.SetFaults(c.opts.Fault)
 	rec, err := c.openDurability(w, id)
 	if err != nil {
@@ -527,7 +560,7 @@ func (c *Cluster) startWorker() (string, error) {
 // load balancing, §IV-B). New workers get no initial shards.
 func (c *Cluster) AddWorker() (string, error) {
 	id := fmt.Sprintf("w%d", len(c.workers))
-	w := worker.New(id, c.cfg)
+	w := worker.NewWithOptions(id, c.cfg, c.opts.workerOpts())
 	w.SetFaults(c.opts.Fault)
 	if _, err := w.Listen(c.addrFor("worker", id)); err != nil {
 		return "", err
@@ -600,7 +633,7 @@ func (c *Cluster) RestartWorker(id string) (*RecoveryReport, error) {
 		return nil, err
 	}
 
-	w := worker.New(id, c.cfg)
+	w := worker.NewWithOptions(id, c.cfg, c.opts.workerOpts())
 	w.SetFaults(c.opts.Fault)
 	rec, err := c.openDurability(w, id)
 	if err != nil {
