@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-ingest bench-worker examples smoke
+.PHONY: check fmt vet build test race bench bench-ingest bench-worker bench-replication examples smoke
 
 # The standard gate: everything CI (and the tier-1 verify) runs.
 check: fmt vet build race
@@ -36,6 +36,11 @@ bench-ingest:
 # query fan-out scaling, emitted machine-readable as BENCH_worker.json.
 bench-worker:
 	./scripts/bench_worker.sh
+
+# Shard replication: hot-shard read throughput RF=1 vs RF=2 prefer-replica
+# and the failover window, emitted machine-readable as BENCH_replication.json.
+bench-replication:
+	./scripts/bench_replication.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -470,3 +470,282 @@ func TestChaosHeartbeatDropPastTTL(t *testing.T) {
 		t.Fatal("session ID unchanged across an expiry")
 	}
 }
+
+// TestChaosPrimaryFailover is the replication pipeline end to end: with
+// RF=2 every primary ships its WAL records to a follower before acking,
+// so killing a worker mid-ingest-stream loses nothing — the manager
+// promotes the freshest follower as soon as the dead primary's session
+// expiry is observed, and one image refresh later queries are complete
+// again with zero missing shards and the exact acknowledged count.
+func TestChaosPrimaryFailover(t *testing.T) {
+	chaosPrimaryFailover(t, 0)
+}
+
+// TestChaosPrimaryFailoverPipeline is the same failover drill with the
+// asynchronous ingest pipeline enabled: replication ships under the same
+// read-lock hold as the buffer + WAL append, so acked-but-undrained
+// items survive the primary's death too.
+func TestChaosPrimaryFailoverPipeline(t *testing.T) {
+	chaosPrimaryFailover(t, 2)
+}
+
+func chaosPrimaryFailover(t *testing.T, ingestWorkers int) {
+	c, err := Start(Options{
+		Schema:            TPCDSSchema(),
+		Workers:           2,
+		Servers:           1,
+		ShardsPerWorker:   2,
+		BalanceInterval:   -1,
+		SyncInterval:      time.Hour,
+		StatsInterval:     50 * time.Millisecond,
+		SessionTTL:        time.Second,
+		Durability:        DurabilitySync,
+		DataDir:           t.TempDir(),
+		ReplicationFactor: 2,
+		IngestWorkers:     ingestWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Start seeded every shard's replica set synchronously; the image
+	// must say so before the failure, or the test proves nothing.
+	for id := ShardID(0); id < 4; id++ {
+		raw, _, err := c.CoordStore().Get(image.ShardPath(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, err := image.DecodeShardMetaBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(meta.Replicas) != 1 {
+			t.Fatalf("shard %d replicas = %v, want exactly 1", id, meta.Replicas)
+		}
+	}
+
+	loads := seedStream(t, c, cl, 200)
+	seeded := loads[0] + loads[1]
+
+	// SIGKILL w1 mid-stream and let its lease run out on the fake clock.
+	clk := newChaosClock()
+	c.CoordStore().SetClock(clk.now)
+	if err := c.KillWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(c.opts.SessionTTL + time.Second)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w0Up := c.CoordStore().Exists(image.WorkerPath("w0"))
+		w1Up := c.CoordStore().Exists(image.WorkerPath("w1"))
+		if w0Up && !w1Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registrations never settled: w0=%v w1=%v, want true/false", w0Up, w1Up)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stream continues against the degraded cluster. Every ack —
+	// before and after the kill — must survive the failover.
+	gen := NewGenerator(c.Schema(), 23, 1.1)
+	var ok uint64
+	for i := 0; i < 200; i++ {
+		switch err := cl.InsertNoCtx(gen.Item()); {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrWorkerDown):
+		default:
+			t.Fatalf("degraded insert %d: %v, want nil or ErrWorkerDown", i, err)
+		}
+	}
+
+	// One manager pass observes the expired session and promotes the
+	// follower for both of w1's shards.
+	if _, err := c.RunBalancePass(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BalanceStats().Promotions; got != 2 {
+		t.Fatalf("promotions = %d, want 2", got)
+	}
+
+	// One image refresh later: complete answers, zero missing shards,
+	// and the exact acknowledged count — nothing acked was lost.
+	want := seeded + ok
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !info.Partial() && len(info.MissingShards) == 0 && agg.Count == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failover never converged: err=%v partial=%v missing=%v count=%d want=%d",
+				err, info.Partial(), info.MissingShards, agg.Count, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The promoted shards absorb writes: the whole keyspace is writable
+	// again with w1 still dead.
+	deadline = time.Now().Add(10 * time.Second)
+	var extra uint64
+	for extra < 50 {
+		if err := cl.InsertNoCtx(gen.Item()); err == nil {
+			extra++
+			continue
+		} else if !errors.Is(err, ErrWorkerDown) {
+			t.Fatalf("post-failover insert: %v", err)
+		}
+		// A stale route can linger for one refresh; never past the poll.
+		if time.Now().After(deadline) {
+			t.Fatal("post-failover inserts kept failing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || info.Partial() || agg.Count != want+extra {
+		t.Fatalf("post-failover query: err=%v partial=%v count=%d want=%d",
+			err, info.Partial(), agg.Count, want+extra)
+	}
+}
+
+// TestReplicaReadPath drives ReadPreferReplica end to end on a healthy
+// RF=2 cluster: queries succeed with the same aggregate as leader reads,
+// report replica-served shards in QueryInfo, and bump the server's
+// replica-read counter.
+func TestReplicaReadPath(t *testing.T) {
+	c, err := Start(Options{
+		Schema:            TPCDSSchema(),
+		Workers:           2,
+		Servers:           1,
+		ShardsPerWorker:   2,
+		BalanceInterval:   -1,
+		SyncInterval:      time.Hour,
+		StatsInterval:     50 * time.Millisecond,
+		Durability:        DurabilitySync,
+		DataDir:           t.TempDir(),
+		ReplicationFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	seedStream(t, c, cl, 300)
+	leaderAgg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawReplica := false
+	for i := 0; i < 8; i++ {
+		agg, info, err := cl.QueryWithNoCtx(AllRect(c.Schema()), QueryOptions{Read: ReadPreferReplica})
+		if err != nil {
+			t.Fatalf("replica query %d: %v", i, err)
+		}
+		if agg.Count != leaderAgg.Count {
+			t.Fatalf("replica query %d count = %d, want %d", i, agg.Count, leaderAgg.Count)
+		}
+		if len(info.ReplicaShards) > 0 {
+			sawReplica = true
+		}
+	}
+	if !sawReplica {
+		t.Fatal("no query was ever served from a replica")
+	}
+
+	var b bytes.Buffer
+	if err := c.servers[0].Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := prometheusCounter(t, b.String(), "server_replica_reads_total"); n == 0 {
+		t.Fatal("server_replica_reads_total stayed zero across replica reads")
+	}
+
+	// Session-level preference via functional options: the plain Query
+	// path uses it too.
+	rcl, err := Connect(c.ServerAddr(0), WithReadPreference(ReadPreferReplica))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcl.Close()
+	agg, _, err := rcl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || agg.Count != leaderAgg.Count {
+		t.Fatalf("session-preference query: err=%v count=%d want=%d", err, agg.Count, leaderAgg.Count)
+	}
+}
+
+// TestPromoteReplicaManual exercises planned promotion on a live
+// cluster: PromoteReplica flips a shard's primary to its follower
+// without losing a single acked item, and the old primary forwards
+// late-routed inserts to the new one.
+func TestPromoteReplicaManual(t *testing.T) {
+	c, err := Start(Options{
+		Schema:            TPCDSSchema(),
+		Workers:           2,
+		Servers:           1,
+		ShardsPerWorker:   2,
+		BalanceInterval:   -1,
+		SyncInterval:      time.Hour,
+		StatsInterval:     50 * time.Millisecond,
+		Durability:        DurabilitySync,
+		DataDir:           t.TempDir(),
+		ReplicationFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	loads := seedStream(t, c, cl, 300)
+	total := loads[0] + loads[1]
+
+	// Shard 0 lives on w0 (sequential allocation); its follower is w1.
+	promoted, err := c.PromoteReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted != "w1" {
+		t.Fatalf("promoted worker = %q, want w1", promoted)
+	}
+	if got := c.BalanceStats().Promotions; got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+
+	// No item lost, and the cluster keeps absorbing the stream across
+	// the ownership flip (stale routes retry through the image refresh).
+	gen := NewGenerator(c.Schema(), 31, 1.1)
+	for i := 0; i < 100; i++ {
+		if err := cl.InsertNoCtx(gen.Item()); err != nil {
+			t.Fatalf("post-promotion insert %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !info.Partial() && agg.Count == total+100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("promotion never converged: err=%v count=%d want=%d", err, agg.Count, total+100)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

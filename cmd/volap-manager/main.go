@@ -22,6 +22,7 @@ func main() {
 	ratio := flag.Float64("ratio", 1.25, "max/min load imbalance threshold")
 	minMove := flag.Uint64("min-move", 512, "minimum item gap before balancing")
 	maxShard := flag.Uint64("max-shard", 0, "split shards above this many items (0 = off)")
+	replFactor := flag.Int("replication-factor", 1, "total copies per shard incl. primary (1 = off; requires durable workers)")
 	verbose := flag.Bool("v", false, "log every pass")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
@@ -34,18 +35,19 @@ func main() {
 	defer co.Close()
 
 	m, err := manager.New(manager.Options{
-		Coord:         co,
-		Interval:      *interval,
-		Ratio:         *ratio,
-		MinMoveItems:  *minMove,
-		MaxShardItems: *maxShard,
+		Coord:             co,
+		Interval:          *interval,
+		Ratio:             *ratio,
+		MinMoveItems:      *minMove,
+		MaxShardItems:     *maxShard,
+		ReplicationFactor: *replFactor,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "volap-manager:", err)
 		os.Exit(1)
 	}
 	m.Start()
-	fmt.Printf("volap-manager: balancing every %v (ratio %.2f)\n", *interval, *ratio)
+	fmt.Printf("volap-manager: balancing every %v (ratio %.2f, replication factor %d)\n", *interval, *ratio, *replFactor)
 
 	if *metricsAddr != "" {
 		o, err := obs.Serve(*metricsAddr, m.Metrics(), func() any {

@@ -34,8 +34,19 @@ func main() {
 	n := fs.Int("n", 1000, "operation count")
 	seed := fs.Int64("seed", time.Now().UnixNano(), "workload seed")
 	bulk := fs.Bool("bulk", false, "use the bulk ingestion path")
+	readPref := fs.String("read-pref", "leader", "query read path: leader or replica")
+	maxLag := fs.Uint64("max-replica-lag", 0, "staleness bound for replica reads in WAL records (0 = server default)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the session's /metrics on this address (off when empty)")
 	_ = fs.Parse(args)
+
+	var qopts volap.QueryOptions
+	switch *readPref {
+	case "leader":
+	case "replica":
+		qopts = volap.QueryOptions{Read: volap.ReadPreferReplica, MaxReplicaLag: *maxLag}
+	default:
+		fatal(fmt.Errorf("unknown -read-pref %q (want leader or replica)", *readPref), "flags")
+	}
 
 	co, err := coord.DialClient(*coordAddr)
 	fatal(err, "coord")
@@ -69,22 +80,22 @@ func main() {
 		cl, schema := connect(co, *serverAddr)
 		defer cl.Close()
 		defer serveObs(*metricsAddr, cl)()
-		agg, info, err := cl.QueryNoCtx(volap.AllRect(schema))
+		agg, info, err := cl.QueryWithNoCtx(volap.AllRect(schema), qopts)
 		fatal(err, "query")
-		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)%s\n",
-			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted, partialNote(info))
+		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)%s%s\n",
+			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted, replicaNote(info), partialNote(info))
 		gen := tpcds.NewGenerator(schema, *seed, 1.1)
 		for i := 0; i < *n; i++ {
 			q := gen.Query()
 			start := time.Now()
-			agg, info, err := cl.QueryNoCtx(q)
+			agg, info, err := cl.QueryWithNoCtx(q, qopts)
 			fatal(err, "query")
 			cov := 0.0
 			if total, _, err := cl.QueryNoCtx(volap.AllRect(schema)); err == nil && total.Count > 0 {
 				cov = float64(agg.Count) / float64(total.Count)
 			}
-			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v%s\n",
-				i, cov*100, agg.Count, agg.Sum, info.ShardsSearched, time.Since(start).Round(time.Microsecond), partialNote(info))
+			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v%s%s\n",
+				i, cov*100, agg.Count, agg.Sum, info.ShardsSearched, time.Since(start).Round(time.Microsecond), replicaNote(info), partialNote(info))
 		}
 	default:
 		usage()
@@ -98,6 +109,14 @@ func partialNote(info volap.QueryInfo) string {
 		return ""
 	}
 	return fmt.Sprintf(" PARTIAL: missing shards %v", info.MissingShards)
+}
+
+// replicaNote reports how much of the answer came from replica copies.
+func replicaNote(info volap.QueryInfo) string {
+	if len(info.ReplicaShards) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" [%d shards from replicas, lag<=%d]", len(info.ReplicaShards), info.MaxReplicaLag)
 }
 
 // connect picks a server (explicitly or from the image) and attaches a
@@ -162,7 +181,11 @@ func status(co *coord.Client) {
 			continue
 		}
 		if m, err := image.DecodeShardMetaBytes(raw); err == nil {
-			fmt.Printf("  shard %-5d worker=%-6s count=%-10d box=%v\n", m.ID, m.Worker, m.Count, m.Key)
+			repl := ""
+			if len(m.Replicas) > 0 {
+				repl = fmt.Sprintf(" replicas=%v", m.Replicas)
+			}
+			fmt.Printf("  shard %-5d worker=%-6s count=%-10d box=%v%s\n", m.ID, m.Worker, m.Count, m.Key, repl)
 		}
 	}
 }

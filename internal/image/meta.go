@@ -68,6 +68,10 @@ type ShardMeta struct {
 	Worker string // owning worker ID
 	Key    *keys.Key
 	Count  uint64
+	// Replicas lists the worker IDs holding a standby copy of the shard
+	// (fed by the primary's WAL-record shipping). On primary loss the
+	// manager promotes the freshest of these and rewrites Worker.
+	Replicas []string
 }
 
 // Encode serializes the record.
@@ -76,6 +80,10 @@ func (m *ShardMeta) Encode(w *wire.Writer) {
 	w.String(m.Worker)
 	m.Key.Encode(w)
 	w.Uvarint(m.Count)
+	w.Uvarint(uint64(len(m.Replicas)))
+	for _, r := range m.Replicas {
+		w.String(r)
+	}
 }
 
 // EncodeBytes serializes the record to a fresh buffer.
@@ -94,10 +102,29 @@ func DecodeShardMeta(r *wire.Reader) (*ShardMeta, error) {
 	}
 	m.Key = k
 	m.Count = r.Uvarint()
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("image: shard replica count %d exceeds payload", n)
+		}
+		m.Replicas = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			m.Replicas = append(m.Replicas, r.String())
+		}
+	}
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
 	return m, nil
+}
+
+// HasReplica reports whether worker id is listed as a replica.
+func (m *ShardMeta) HasReplica(id string) bool {
+	for _, r := range m.Replicas {
+		if r == id {
+			return true
+		}
+	}
+	return false
 }
 
 // DecodeShardMetaBytes decodes from a buffer.

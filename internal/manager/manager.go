@@ -38,6 +38,10 @@ type Options struct {
 	// MaxShardItems splits any shard that grows beyond this many items,
 	// regardless of balance (0 disables; memory-pressure guard).
 	MaxShardItems uint64
+	// ReplicationFactor is the total number of copies (primary included)
+	// the manager maintains per shard. <=1 disables replica-set
+	// maintenance; promotion of already-listed replicas runs regardless.
+	ReplicationFactor int
 	// Metrics receives the manager's instrumentation. When nil the
 	// manager creates a private registry (reachable via Metrics()).
 	Metrics *metrics.Registry
@@ -53,6 +57,7 @@ type Stats struct {
 	Splits     uint64
 	Migrations uint64
 	MovedItems uint64
+	Promotions uint64
 }
 
 // EventKind classifies one load-balancing action.
@@ -66,6 +71,9 @@ const (
 	// answered again — a durable worker restarting over its data
 	// directory and re-adopting its shards, not a fresh empty worker.
 	EventReadopt EventKind = "readopt"
+	// EventPromotion records a follower taking over a shard whose
+	// primary's session expired (or an operator-requested promotion).
+	EventPromotion EventKind = "promotion"
 )
 
 // Event is one recorded split or migration, kept in a bounded log so the
@@ -135,6 +143,7 @@ func New(opts Options) (*Manager, error) {
 	reg.CounterFunc("manager_splits_total", func() uint64 { return m.Stats().Splits })
 	reg.CounterFunc("manager_migrations_total", func() uint64 { return m.Stats().Migrations })
 	reg.CounterFunc("manager_moved_items_total", func() uint64 { return m.Stats().MovedItems })
+	reg.CounterFunc("manager_promotions_total", func() uint64 { return m.Stats().Promotions })
 	reg.GaugeFunc("manager_dead_workers", func() float64 { return float64(len(m.DeadWorkers())) })
 	reg.CounterFunc("manager_dead_worker_skips_total", func() uint64 {
 		m.mu.Lock()
@@ -344,13 +353,19 @@ func (m *Manager) observe() (map[string]*workerView, map[image.ShardID]*image.Sh
 }
 
 // RunPass analyzes the system and performs at most MaxOpsPerPass
-// balancing operations. It returns the number of operations performed.
+// balancing operations. Replication maintenance — promoting followers of
+// expired primaries, repairing replica sets — runs first and is not
+// capped: failover must not queue behind load balancing. It returns the
+// number of operations performed.
 func (m *Manager) RunPass() (int, error) {
 	m.mu.Lock()
 	m.stats.Passes++
 	m.mu.Unlock()
 
-	ops := 0
+	ops, err := m.replicationPass()
+	if err != nil {
+		return ops, err
+	}
 	for ops < m.opts.MaxOpsPerPass {
 		views, shards, err := m.observe()
 		if err != nil {
@@ -471,9 +486,13 @@ func (m *Manager) splitShard(v *workerView, id image.ShardID) error {
 		return err
 	}
 	// Update the global image: shrink the old record, add the new one.
+	// Both halves start with no replicas: the split tore the shipping
+	// links down (a pre-split standby would be a stale superset of either
+	// half), and the next replication pass re-seeds them.
 	if err := m.updateShardMeta(id, func(meta *image.ShardMeta) {
 		meta.Key = res.LeftKey
 		meta.Count = res.LeftCount
+		meta.Replicas = nil
 	}); err != nil {
 		return err
 	}
@@ -505,6 +524,9 @@ func (m *Manager) migrateShard(donor, recipient *workerView, id image.ShardID) e
 		if moved > meta.Count {
 			meta.Count = moved
 		}
+		// Migration severed the shipping links; the new owner gets a
+		// fresh replica set from the next replication pass.
+		meta.Replicas = nil
 	}); err != nil {
 		return err
 	}

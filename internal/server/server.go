@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -84,12 +85,15 @@ type Server struct {
 	srv  *netmsg.Server
 	addr string
 
-	mu      sync.RWMutex
-	owners  map[image.ShardID]string     // shard -> worker ID
-	workers map[string]*image.WorkerMeta // worker ID -> meta
-	down    map[string]struct{}          // workers whose registration vanished
-	conns   map[string]*netmsg.Client    // worker addr -> client
-	dirty   map[image.ShardID]struct{}   // locally grown shards awaiting push
+	mu       sync.RWMutex
+	owners   map[image.ShardID]string     // shard -> worker ID
+	replicas map[image.ShardID][]string   // shard -> follower worker IDs
+	workers  map[string]*image.WorkerMeta // worker ID -> meta
+	down     map[string]struct{}          // workers whose registration vanished
+	conns    map[string]*netmsg.Client    // worker addr -> client
+	dirty    map[image.ShardID]struct{}   // locally grown shards awaiting push
+
+	rrSeq atomic.Uint64 // round-robin cursor for replica reads
 
 	fault *netmsg.FaultInjector
 
@@ -115,6 +119,8 @@ type Server struct {
 	inflight *metrics.Gauge        // server_inflight_ops
 	partials *metrics.Counter      // server_partial_queries_total
 	downErrs *metrics.Counter      // server_worker_down_total
+
+	replicaReads *metrics.Counter // server_replica_reads_total
 }
 
 // New builds a server, loads the global image, and starts watching for
@@ -153,6 +159,7 @@ func New(opts Options) (*Server, error) {
 		maxRetries: opts.MaxRetries,
 		idx:        image.NewIndex(cfg.Schema, cfg.Keys, cfg.MDSCap, 8),
 		owners:     make(map[image.ShardID]string),
+		replicas:   make(map[image.ShardID][]string),
 		workers:    make(map[string]*image.WorkerMeta),
 		down:       make(map[string]struct{}),
 		conns:      make(map[string]*netmsg.Client),
@@ -168,6 +175,7 @@ func New(opts Options) (*Server, error) {
 		partials:   reg.Counter("server_partial_queries_total").With(),
 		downErrs:   reg.Counter("server_worker_down_total").With(),
 	}
+	s.replicaReads = reg.Counter("server_replica_reads_total").With()
 	reg.GaugeFunc("server_down_workers", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
@@ -249,6 +257,11 @@ func (s *Server) applyNode(path string, data []byte) {
 		}
 		s.mu.Lock()
 		s.owners[id] = meta.Worker
+		if len(meta.Replicas) > 0 {
+			s.replicas[id] = append([]string(nil), meta.Replicas...)
+		} else {
+			delete(s.replicas, id)
+		}
 		s.mu.Unlock()
 		return
 	}
@@ -600,6 +613,13 @@ type QueryInfo struct {
 	// aggregate with a nil error; callers decide whether partial is
 	// acceptable by checking Partial().
 	MissingShards []image.ShardID
+	// ReplicaShards lists shards whose contribution came from a replica
+	// copy instead of the leader (only under ReadPreferReplica).
+	ReplicaShards []image.ShardID
+	// MaxReplicaLag is the largest lag, in shipped-but-unapplied WAL
+	// records, among the replica copies that served this query. Zero
+	// for leader-only reads.
+	MaxReplicaLag uint64
 }
 
 // Partial reports whether the aggregate is missing any shard's data.
@@ -619,6 +639,13 @@ func (qi QueryInfo) Partial() bool { return len(qi.MissingShards) > 0 }
 // nothing could be reached the query fails with ErrUnavailable as
 // before — an empty "result" would be indistinguishable from real data.
 func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryInfo, error) {
+	return s.query(ctx, q, QueryOptions{})
+}
+
+// query is the shared implementation behind Query and QueryOpts. Under
+// ReadPreferReplica a single replica pre-pass runs first (see
+// replica.go); the leader retry loop then covers whatever it left.
+func (s *Server) query(ctx context.Context, q keys.Rect, opts QueryOptions) (core.Aggregate, QueryInfo, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
 	defer s.instrument(ctx, "query")()
@@ -632,6 +659,14 @@ func (s *Server) Query(ctx context.Context, q keys.Rect) (core.Aggregate, QueryI
 	missing := make(map[image.ShardID]struct{})
 	succeeded := 0
 	remaining := shards
+	if opts.Read == ReadPreferReplica {
+		maxLag := opts.MaxReplicaLag
+		if maxLag == 0 {
+			maxLag = DefaultMaxReplicaLag
+		}
+		remaining = s.replicaPrePass(ctx, q, shards, maxLag, &agg, &info, contacted)
+		succeeded += len(info.ReplicaShards)
+	}
 	var lastErr error
 	delay := 5 * time.Millisecond
 	for attempt := 0; attempt <= s.maxRetries; attempt++ {
@@ -987,7 +1022,17 @@ func (s *Server) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	agg, info, err := s.Query(ctx, q)
+	// A bare rect is the pre-replication request format and means
+	// ReadLeader; newer clients append a preference byte + lag bound.
+	var opts QueryOptions
+	if r.Remaining() > 0 {
+		opts.Read = ReadPreference(r.Uint8())
+		opts.MaxReplicaLag = r.Uvarint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	agg, info, err := s.query(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -1000,6 +1045,11 @@ func (s *Server) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	for _, id := range info.MissingShards {
 		w.Uvarint(uint64(id))
 	}
+	w.Uvarint(uint64(len(info.ReplicaShards)))
+	for _, id := range info.ReplicaShards {
+		w.Uvarint(uint64(id))
+	}
+	w.Uvarint(info.MaxReplicaLag)
 	return w.Bytes(), nil
 }
 
@@ -1073,6 +1123,11 @@ type WorkerStats struct {
 	MemBytes    uint64
 	ShardCounts map[image.ShardID]uint64
 	OpLatency   map[string]worker.OpLatency
+	// Replicas are the standby shard copies this worker hosts as a
+	// replication follower; ShipLinks are the follower links this
+	// worker feeds as a primary.
+	Replicas  []worker.ReplicaInfo
+	ShipLinks []worker.ShipLink
 }
 
 // ClusterStats is the cluster-wide view assembled by server.clusterstats.
@@ -1119,6 +1174,11 @@ func (s *Server) ClusterStats(ctx context.Context) (*ClusterStats, error) {
 		if raw, err := c.RequestCtx(ctx, "worker.opstats", nil); err == nil {
 			ws.OpLatency, _ = worker.DecodeOpStats(raw)
 		}
+		if raw, err := c.RequestCtx(ctx, "worker.replicastatus", nil); err == nil {
+			if rs, err := worker.DecodeReplStatus(raw); err == nil {
+				ws.Replicas, ws.ShipLinks = rs.Standbys, rs.Links
+			}
+		}
 		out.Workers = append(out.Workers, ws)
 	}
 	return out, nil
@@ -1158,6 +1218,20 @@ func EncodeClusterStats(cs *ClusterStats) []byte {
 			w.Uvarint(uint64(l.P99.Microseconds()))
 			w.Uvarint(uint64(l.Max.Microseconds()))
 		}
+		w.Uvarint(uint64(len(ws.Replicas)))
+		for _, ri := range ws.Replicas {
+			w.Uvarint(uint64(ri.Shard))
+			w.String(ri.Primary)
+			w.Uvarint(ri.Applied)
+			w.Uvarint(ri.Head)
+		}
+		w.Uvarint(uint64(len(ws.ShipLinks)))
+		for _, l := range ws.ShipLinks {
+			w.Uvarint(uint64(l.Shard))
+			w.String(l.Follower)
+			w.Uvarint(l.Acked)
+			w.Uvarint(l.Seq)
+		}
 	}
 	return w.Bytes()
 }
@@ -1193,6 +1267,24 @@ func DecodeClusterStats(b []byte) (*ClusterStats, error) {
 					P99:   time.Duration(r.Uvarint()) * time.Microsecond,
 					Max:   time.Duration(r.Uvarint()) * time.Microsecond,
 				}
+			}
+		}
+		if nr := r.Uvarint(); nr > 0 && r.Err() == nil {
+			ws.Replicas = make([]worker.ReplicaInfo, 0, nr)
+			for j := uint64(0); j < nr; j++ {
+				ws.Replicas = append(ws.Replicas, worker.ReplicaInfo{
+					Shard: image.ShardID(r.Uvarint()), Primary: r.String(),
+					Applied: r.Uvarint(), Head: r.Uvarint(),
+				})
+			}
+		}
+		if nl := r.Uvarint(); nl > 0 && r.Err() == nil {
+			ws.ShipLinks = make([]worker.ShipLink, 0, nl)
+			for j := uint64(0); j < nl; j++ {
+				ws.ShipLinks = append(ws.ShipLinks, worker.ShipLink{
+					Shard: image.ShardID(r.Uvarint()), Follower: r.String(),
+					Acked: r.Uvarint(), Seq: r.Uvarint(),
+				})
 			}
 		}
 		if r.Err() != nil {
@@ -1255,6 +1347,17 @@ func DecodeQueryResponse(b []byte) (core.Aggregate, QueryInfo, error) {
 		for i := uint64(0); i < n; i++ {
 			info.MissingShards = append(info.MissingShards, image.ShardID(r.Uvarint()))
 		}
+	}
+	// Replica fields are absent from pre-replication replies; tolerate
+	// their absence so a new client can read an old server.
+	if r.Err() == nil && r.Remaining() > 0 {
+		if n := r.Uvarint(); n > 0 && r.Err() == nil {
+			info.ReplicaShards = make([]image.ShardID, 0, n)
+			for i := uint64(0); i < n; i++ {
+				info.ReplicaShards = append(info.ReplicaShards, image.ShardID(r.Uvarint()))
+			}
+		}
+		info.MaxReplicaLag = r.Uvarint()
 	}
 	return agg, info, r.Err()
 }

@@ -125,8 +125,12 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 	// Flush buffered inserts into the store before the queue takes
 	// over, so the split plan and both halves observe every
 	// acknowledged item; while the queue is installed, inserts bypass
-	// the buffer entirely.
+	// the buffer entirely. Replication links are torn down here: a
+	// follower's standby would become a stale superset of the halves
+	// (promoting it would double-count), so the manager clears the
+	// replica set and re-seeds both halves afresh.
 	w.drainLocked(st)
+	teardownReplLocked(st)
 	st.queue = queue
 	st.mu.Unlock()
 
@@ -260,7 +264,10 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 	}
 	// As in SplitShard: the serialized snapshot below must contain every
 	// acknowledged item, and the queue absorbs everything after it.
+	// Replication ends here too — the destination owner gets a fresh
+	// replica set from the manager's next ensure pass.
 	w.drainLocked(st)
+	teardownReplLocked(st)
 	st.queue = queue
 	st.mu.Unlock()
 

@@ -170,6 +170,12 @@ func (w *Worker) insertBuffered(ctx context.Context, st *shardState, id image.Sh
 			// sealed WAL generations never contain an item the drained
 			// snapshot misses.
 			err := w.appendInsert(id, items)
+			if err == nil {
+				// Replicate before the ack, still under the read-lock
+				// hold, so demote/split/migrate (write lock) never
+				// observe an acked-but-unshipped batch (replica.go).
+				w.shipToReplicas(ctx, st, id, items)
+			}
 			st.mu.RUnlock()
 			if err != nil {
 				return true, err

@@ -39,6 +39,8 @@ type shardState struct {
 
 	buf *ingestBuf // insertion buffer; non-nil when the ingest pipeline is on
 
+	repl *replShip // follower links when this worker is the shard's primary
+
 	// Per-shard metric handles, resolved once at creation so the hot
 	// insert/query paths skip label formatting and map lookups.
 	insertLat *metrics.Histogram
@@ -93,6 +95,9 @@ type Worker struct {
 	peerMu sync.Mutex
 	peers  map[string]*netmsg.Client // addr -> client (for forwarding/migration)
 
+	replMu   sync.Mutex
+	replicas map[image.ShardID]*replicaState // standby copies this worker hosts
+
 	fault *netmsg.FaultInjector // chaos testing; nil in production
 
 	// durability; nil when running in the paper's pure in-memory mode
@@ -124,6 +129,11 @@ type Worker struct {
 	ingestItems   *metrics.Gauge     // worker_ingest_queue_items
 	drainBatch    *metrics.Histogram // worker_drain_batch_items
 	queryParallel *metrics.Histogram // worker_query_parallel_shards
+
+	// replication metrics
+	shipBytes  *metrics.Counter  // replica_ship_bytes_total
+	shipFails  *metrics.Counter  // replica_ship_failures_total
+	replicaLag *metrics.GaugeVec // replica_lag_records{shard}
 }
 
 // MovedPrefix is the error prefix returned when a shard has migrated
@@ -163,6 +173,7 @@ func NewWithOptions(id string, cfg *image.ClusterConfig, opts Options) *Worker {
 		opts:          opts,
 		shards:        make(map[image.ShardID]*shardState),
 		peers:         make(map[string]*netmsg.Client),
+		replicas:      make(map[image.ShardID]*replicaState),
 		reg:           reg,
 		trace:         metrics.NewTraceLog(0),
 		insertLat:     reg.Histogram("worker_insert_seconds", "shard"),
@@ -172,6 +183,9 @@ func NewWithOptions(id string, cfg *image.ClusterConfig, opts Options) *Worker {
 		ingestItems:   reg.Gauge("worker_ingest_queue_items").With(),
 		drainBatch:    reg.Histogram("worker_drain_batch_items").With(),
 		queryParallel: reg.Histogram("worker_query_parallel_shards").With(),
+		shipBytes:     reg.Counter("replica_ship_bytes_total").With(),
+		shipFails:     reg.Counter("replica_ship_failures_total").With(),
+		replicaLag:    reg.Gauge("replica_lag_records", "shard"),
 	}
 	if opts.IngestWorkers > 0 {
 		w.ingestCh = make(chan *shardState, 256)
@@ -247,6 +261,14 @@ func (w *Worker) Listen(addr string) (string, error) {
 	srv.Handle("worker.splitshard", w.handleSplitShard)
 	srv.Handle("worker.sendshard", w.handleSendShard)
 	srv.Handle("worker.receiveshard", w.handleReceiveShard)
+	srv.Handle("worker.addreplica", w.handleAddReplica)
+	srv.Handle("worker.dropreplica", w.handleDropReplica)
+	srv.Handle("worker.replicaseed", w.handleReplicaSeed)
+	srv.Handle("worker.replicate", w.handleReplicate)
+	srv.Handle("worker.replicastatus", w.handleReplStatus)
+	srv.Handle("worker.promote", w.handlePromote)
+	srv.Handle("worker.demote", w.handleDemote)
+	srv.Handle("worker.queryreplica", w.handleQueryReplica)
 	srv.Handle("worker.ping", func(context.Context, []byte) ([]byte, error) { return []byte("pong"), nil })
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -598,7 +620,13 @@ func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item
 		if err := s.BulkLoad(items); err != nil {
 			return err
 		}
-		return w.appendInsert(id, items)
+		if err := w.appendInsert(id, items); err != nil {
+			return err
+		}
+		// Replicate under the same read-lock hold as apply + WAL append,
+		// before the ack: see replica.go for the contract.
+		w.shipToReplicas(ctx, st, id, items)
+		return nil
 	case st.forward != "":
 		dest := st.forward
 		st.mu.RUnlock()
@@ -643,7 +671,11 @@ func (w *Worker) handleBulkLoad(ctx context.Context, p []byte) ([]byte, error) {
 	if err := st.store.BulkLoad(items); err != nil {
 		return nil, err
 	}
-	return nil, w.appendInsert(id, items)
+	if err := w.appendInsert(id, items); err != nil {
+		return nil, err
+	}
+	w.shipToReplicas(ctx, st, id, items)
+	return nil, nil
 }
 
 func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {

@@ -1,11 +1,15 @@
 #!/bin/sh
-# Smoke test for the multi-process deployment, its observability surface
-# and the durability pipeline: builds the binaries, boots coord + 2
-# durable workers + 1 server, drives inserts and queries through the CLI
+# Smoke test for the multi-process deployment, its observability surface,
+# the durability pipeline and shard replication: builds the binaries,
+# boots coord + 2 durable workers + 1 server + the manager at
+# -replication-factor 2, drives inserts and queries through the CLI
 # client, asserts every process's /metrics endpoint serves Prometheus
-# text with nonzero op counters, then SIGKILLs one worker, restarts it
-# over the same data directory and asserts it replayed its WAL
-# (durable_recovery_replayed_records > 0).
+# text with nonzero op counters (including replica_ship_bytes_total,
+# replica_lag_records and server_replica_reads_total from a
+# -read-pref replica query), then SIGKILLs one worker, asserts the
+# manager promotes its shards' followers (manager_promotions_total),
+# restarts it over the same data directory and asserts it replayed its
+# WAL (durable_recovery_replayed_records > 0).
 #
 # Every component listens on 127.0.0.1:0 and the script reads the bound
 # address back from its log line, so concurrent runs (CI, a developer's
@@ -36,7 +40,7 @@ fail() {
 }
 
 echo "smoke: building binaries"
-go build -o "$BIN" ./cmd/volap-coord ./cmd/volap-worker ./cmd/volap-server ./cmd/volap
+go build -o "$BIN" ./cmd/volap-coord ./cmd/volap-worker ./cmd/volap-server ./cmd/volap-manager ./cmd/volap
 
 # spawn LABEL BINARY ARGS...: start a process with its own log file. The
 # new pid is left in LAST_PID for callers that need to kill one process.
@@ -76,10 +80,10 @@ spawn coord volap-coord -listen 127.0.0.1:0
 COORD=$(wait_log coord 's/^volap-coord: serving global system image on //p') ||
 	fail "coord never reported its address"
 spawn w0 volap-worker -coord "$COORD" -id w0 -listen 127.0.0.1:0 -shards 4 -metrics-addr 127.0.0.1:0 \
-	-durability async -data-dir "$DATA/w0"
+	-durability async -data-dir "$DATA/w0" -session-ttl 1s
 W0_PID=$LAST_PID
 spawn w1 volap-worker -coord "$COORD" -id w1 -listen 127.0.0.1:0 -shards 4 -metrics-addr 127.0.0.1:0 \
-	-durability async -data-dir "$DATA/w1"
+	-durability async -data-dir "$DATA/w1" -session-ttl 1s
 wait_log w0 's/^volap-worker w0: serving on //p' >/dev/null || fail "w0 never came up"
 wait_log w1 's/^volap-worker w1: serving on //p' >/dev/null || fail "w1 never came up"
 W0_OBS=$(obs_addr w0) || fail "w0 never reported its metrics address"
@@ -88,6 +92,8 @@ spawn srv volap-server -coord "$COORD" -id s0 -listen 127.0.0.1:0 -sync 300ms -m
 wait_log srv 's/^volap-server s0: serving clients on \([^ ]*\).*/\1/p' >/dev/null ||
 	fail "server never came up"
 SRV_OBS=$(obs_addr srv) || fail "server never reported its metrics address"
+spawn mgr volap-manager -coord "$COORD" -interval 300ms -replication-factor 2 -metrics-addr 127.0.0.1:0
+MGR_OBS=$(obs_addr mgr) || fail "manager never reported its metrics address"
 
 echo "smoke: driving inserts and queries"
 "$BIN/volap" insert -coord "$COORD" -n 5000 -seed 7 >"$LOG/insert.log" 2>&1 || fail "insert stream"
@@ -109,18 +115,63 @@ check_metrics() {
 	echo "smoke: $addr $counter = $total"
 }
 
+# metrics_value ADDR NAME: print the metric's value summed across label
+# sets, or 0 when the scrape fails or the metric is absent.
+metrics_value() {
+	curl -sf --max-time 5 "http://$1/metrics" 2>/dev/null | awk -v name="$2" '
+		$1 == name || index($1, name "{") == 1 { sum += $2 }
+		END { printf "%d\n", sum + 0 }'
+}
+
 check_metrics "$SRV_OBS" server_routes_total
 check_metrics "$W0_OBS" worker_insert_seconds_count
 check_metrics "$W1_OBS" worker_insert_seconds_count
 check_metrics "$SRV_OBS" netmsg_request_seconds_count
 
+echo "smoke: waiting for the manager to establish RF=2 replica sets"
+i=0
+while :; do
+	ship=$(( $(metrics_value "$W0_OBS" replica_ship_bytes_total) + $(metrics_value "$W1_OBS" replica_ship_bytes_total) ))
+	[ "$ship" -gt 0 ] && break
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "replica_ship_bytes_total stayed 0: manager never seeded replicas"
+	# Replicas seeded after the initial load only ship records inserted
+	# from now on — keep a trickle going until the stream is observed.
+	"$BIN/volap" insert -coord "$COORD" -n 200 -seed "$i" >>"$LOG/insert.log" 2>&1 || fail "replication trickle insert"
+	sleep 0.2
+done
+echo "smoke: replica_ship_bytes_total = $ship"
+curl -sf --max-time 5 "http://$W0_OBS/metrics" "http://$W1_OBS/metrics" | grep -q '^replica_lag_records{' ||
+	fail "no replica_lag_records gauge on either worker"
+
+echo "smoke: replica-preferring query"
+i=0
+while :; do
+	"$BIN/volap" query -coord "$COORD" -n 1 -seed 7 -read-pref replica >"$LOG/query-replica.log" 2>&1 ||
+		fail "replica-preferring query stream"
+	[ "$(metrics_value "$SRV_OBS" server_replica_reads_total)" -gt 0 ] && break
+	i=$((i + 1))
+	[ "$i" -gt 20 ] && fail "server_replica_reads_total stayed 0 across -read-pref replica queries"
+	sleep 0.2
+done
+check_metrics "$SRV_OBS" server_replica_reads_total
+
 curl -sf --max-time 5 "http://$SRV_OBS/debug/volap" | grep -q '"trace"' ||
 	fail "$SRV_OBS: /debug/volap has no trace buffer"
 
-echo "smoke: SIGKILL w0 and restart over the same data dir"
+echo "smoke: SIGKILL w0 and wait for the manager to promote its shards"
 kill -9 "$W0_PID"
+i=0
+until [ "$(metrics_value "$MGR_OBS" manager_promotions_total)" -ge 1 ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "manager_promotions_total stayed 0 after killing w0"
+	sleep 0.2
+done
+echo "smoke: manager_promotions_total = $(metrics_value "$MGR_OBS" manager_promotions_total)"
+
+echo "smoke: restart w0 over the same data dir"
 spawn w0r volap-worker -coord "$COORD" -id w0 -listen 127.0.0.1:0 -shards 4 -metrics-addr 127.0.0.1:0 \
-	-durability async -data-dir "$DATA/w0"
+	-durability async -data-dir "$DATA/w0" -session-ttl 1s
 wait_log w0r 's/^volap-worker w0: recovered \([0-9]*\) shards.*/\1/p' >/dev/null ||
 	fail "restarted w0 never reported recovery"
 wait_log w0r 's/^volap-worker w0: serving on //p' >/dev/null || fail "restarted w0 never came up"

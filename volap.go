@@ -46,7 +46,6 @@ import (
 	"repro/internal/netmsg"
 	"repro/internal/server"
 	"repro/internal/tpcds"
-	"repro/internal/wire"
 	"repro/internal/worker"
 )
 
@@ -83,6 +82,17 @@ type (
 	ClusterStats = server.ClusterStats
 	// WorkerStats is one worker's slice of ClusterStats.
 	WorkerStats = server.WorkerStats
+	// ReplicaInfo describes one standby shard copy a worker hosts as a
+	// replication follower (see WorkerStats.Replicas).
+	ReplicaInfo = worker.ReplicaInfo
+	// ShipLink describes one outgoing replication stream of a primary
+	// (see WorkerStats.ShipLinks).
+	ShipLink = worker.ShipLink
+	// ReadPreference selects which copies of a shard a query may read:
+	// ReadLeader (default) or ReadPreferReplica.
+	ReadPreference = server.ReadPreference
+	// QueryOptions tunes one query's read path (see Client.QueryWith).
+	QueryOptions = server.QueryOptions
 	// OpLatency summarizes one operation's latency distribution.
 	OpLatency = worker.OpLatency
 	// Registry collects named counters, gauges and histograms and exports
@@ -117,6 +127,23 @@ const (
 	DurabilityAsync = durable.ModeAsync
 	DurabilitySync  = durable.ModeSync
 )
+
+// Read preferences for queries (see ClientOptions.ReadPreference and
+// Client.QueryWith).
+const (
+	// ReadLeader routes every shard read to the shard's primary.
+	ReadLeader = server.ReadLeader
+	// ReadPreferReplica spreads shard reads round-robin across each
+	// shard's copies (followers and leader), falling back to the leader
+	// for copies that are unreachable or lagging beyond the staleness
+	// bound.
+	ReadPreferReplica = server.ReadPreferReplica
+)
+
+// DefaultMaxReplicaLag is the staleness bound, in shipped-but-unapplied
+// WAL records, a ReadPreferReplica query tolerates unless it sets its
+// own.
+const DefaultMaxReplicaLag = server.DefaultMaxReplicaLag
 
 // Fault actions and kinds, re-exported for rule construction.
 const (
@@ -272,6 +299,17 @@ type Options struct {
 	// DataDir is the root directory for worker durable state; required
 	// when Durability is not off.
 	DataDir string
+
+	// ReplicationFactor is the total number of copies of each shard,
+	// primary included (default 1 = no replication). With RF >= 2 every
+	// primary ships its WAL records to RF-1 follower workers before
+	// acknowledging an insert; the manager keeps replica sets topped up
+	// and promotes the freshest follower when a primary's liveness
+	// session expires, so a worker crash costs one image refresh instead
+	// of a recovery wait. Requires Durability != off (replication ships
+	// the same framed records the WAL persists) and at most Workers
+	// copies.
+	ReplicationFactor int
 }
 
 var clusterSeq atomic.Uint64
@@ -347,6 +385,19 @@ func (o *Options) defaults() error {
 	}
 	if o.Durability != DurabilityOff && o.DataDir == "" {
 		return errors.New("volap: Options.DataDir is required when Durability is enabled")
+	}
+	if o.ReplicationFactor < 0 {
+		return fmt.Errorf("volap: Options.ReplicationFactor = %d must not be negative", o.ReplicationFactor)
+	}
+	if o.ReplicationFactor == 0 {
+		o.ReplicationFactor = 1
+	}
+	if o.ReplicationFactor > o.Workers {
+		return fmt.Errorf("volap: Options.ReplicationFactor = %d exceeds Workers = %d — each copy needs its own worker",
+			o.ReplicationFactor, o.Workers)
+	}
+	if o.ReplicationFactor > 1 && o.Durability == DurabilityOff {
+		return errors.New("volap: Options.ReplicationFactor > 1 requires Durability (replication ships WAL records)")
 	}
 	return nil
 }
@@ -434,17 +485,26 @@ func Start(opts Options) (*Cluster, error) {
 	}
 
 	mgr, err := manager.New(manager.Options{
-		Coord:         c.coordinator(),
-		Interval:      opts.BalanceInterval,
-		Ratio:         opts.BalanceRatio,
-		MinMoveItems:  opts.MinMoveItems,
-		MaxShardItems: opts.MaxShardItems,
-		Fault:         opts.Fault,
+		Coord:             c.coordinator(),
+		Interval:          opts.BalanceInterval,
+		Ratio:             opts.BalanceRatio,
+		MinMoveItems:      opts.MinMoveItems,
+		MaxShardItems:     opts.MaxShardItems,
+		ReplicationFactor: opts.ReplicationFactor,
+		Fault:             opts.Fault,
 	})
 	if err != nil {
 		return fail(err)
 	}
 	c.mgr = mgr
+	if opts.ReplicationFactor > 1 {
+		// Seed every shard's replica set synchronously so the cluster is
+		// fault tolerant from the first insert, even when the background
+		// balance loop is disabled.
+		if _, err := mgr.RunReplicationPass(); err != nil {
+			return fail(err)
+		}
+	}
 	if opts.BalanceInterval > 0 {
 		mgr.Start()
 	}
@@ -700,6 +760,19 @@ func (c *Cluster) DrainWorker(id string) (int, error) { return c.mgr.DrainWorker
 // BalanceStats snapshots the manager's split/migration counters.
 func (c *Cluster) BalanceStats() BalanceStats { return c.mgr.Stats() }
 
+// PromoteReplica manually promotes the freshest follower of the given
+// shard to primary (planned maintenance, hot-spot drain). The previous
+// primary, when alive, is demoted to a forwarder; the manager's next
+// ensure pass re-seeds the replica set back to full strength. Returns
+// the promoted worker's ID.
+func (c *Cluster) PromoteReplica(id ShardID) (string, error) { return c.mgr.PromoteShard(id) }
+
+// RunReplicationPass triggers one manager replication pass synchronously
+// — dead-primary promotion plus replica-set repair — and returns the
+// number of operations performed. Useful in tests with the background
+// loop disabled; RunBalancePass includes this pass.
+func (c *Cluster) RunReplicationPass() (int, error) { return c.mgr.RunReplicationPass() }
+
 // WorkerLoads returns per-worker item counts, ordered by worker ID.
 func (c *Cluster) WorkerLoads() ([]string, []uint64, error) { return c.mgr.SortedLoads() }
 
@@ -715,10 +788,9 @@ func (c *Cluster) ClientTo(i int) (*Client, error) {
 	if i < 0 || i >= len(c.servers) {
 		return nil, fmt.Errorf("volap: no server %d", i)
 	}
-	return ConnectDimsWith(c.servers[i].Addr(), c.cfg.Schema.NumDims(), ClientOptions{
-		RequestTimeout: c.opts.RequestTimeout,
-		MaxRetries:     c.opts.MaxRetries,
-	})
+	return Connect(c.servers[i].Addr(),
+		WithRequestTimeout(c.opts.RequestTimeout),
+		WithMaxRetries(c.opts.MaxRetries))
 }
 
 // Stop shuts the whole cluster down. It is idempotent.
@@ -770,7 +842,10 @@ const (
 	DefaultMaxRetries     = 3
 )
 
-// ClientOptions tunes one client session.
+// ClientOptions tunes one client session. New code passes functional
+// options (WithRequestTimeout, WithReadPreference, ...) to Connect; this
+// struct remains the home of the session defaults and the deprecated
+// struct-taking constructors.
 type ClientOptions struct {
 	// RequestTimeout bounds each operation whose context has no deadline
 	// (default 10 s; negative disables the bound entirely).
@@ -783,6 +858,46 @@ type ClientOptions struct {
 	// (netmsg_request_seconds, reconnect counters). When nil the client
 	// creates a private registry, reachable via Client.Metrics().
 	Metrics *metrics.Registry
+	// ReadPreference is the session's default query read path: ReadLeader
+	// (zero value) or ReadPreferReplica. Individual queries override it
+	// with Client.QueryWith.
+	ReadPreference ReadPreference
+	// MaxReplicaLag is the session's default staleness bound for replica
+	// reads, in shipped-but-unapplied WAL records (0 = the server's
+	// DefaultMaxReplicaLag). Ignored under ReadLeader.
+	MaxReplicaLag uint64
+}
+
+// ClientOption configures one aspect of a client session (see Connect).
+type ClientOption func(*ClientOptions)
+
+// WithRequestTimeout bounds each operation whose context has no deadline
+// of its own (negative disables the bound entirely).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(o *ClientOptions) { o.RequestTimeout = d }
+}
+
+// WithMaxRetries sets how often a transport-failed request is re-issued
+// (negative disables retries).
+func WithMaxRetries(n int) ClientOption {
+	return func(o *ClientOptions) { o.MaxRetries = n }
+}
+
+// WithMetrics points the session's transport instrumentation at an
+// existing registry.
+func WithMetrics(reg *Registry) ClientOption {
+	return func(o *ClientOptions) { o.Metrics = reg }
+}
+
+// WithReadPreference sets the session's default query read path.
+func WithReadPreference(p ReadPreference) ClientOption {
+	return func(o *ClientOptions) { o.ReadPreference = p }
+}
+
+// WithMaxReplicaLag sets the session's default staleness bound for
+// replica reads, in shipped-but-unapplied WAL records.
+func WithMaxReplicaLag(n uint64) ClientOption {
+	return func(o *ClientOptions) { o.MaxReplicaLag = n }
 }
 
 func (o *ClientOptions) defaults() {
@@ -802,22 +917,35 @@ func (o *ClientOptions) defaults() {
 
 // Client is a session attached to one server.
 type Client struct {
-	c       *netmsg.Client
-	dims    int
-	hash    uint64 // schema fingerprint from the handshake (0 if skipped)
-	retries int
-	reg     *metrics.Registry
+	c        *netmsg.Client
+	dims     int
+	hash     uint64 // schema fingerprint from the handshake (0 if skipped)
+	retries  int
+	reg      *metrics.Registry
+	readPref ReadPreference
+	maxLag   uint64
 }
 
 // Connect attaches a client session to a server address. The schema's
 // dimension count is learned from the server.hello handshake, so the
-// caller needs nothing beyond the address.
-func Connect(addr string) (*Client, error) {
-	return ConnectWith(addr, ClientOptions{})
+// caller needs nothing beyond the address:
+//
+//	client, err := volap.Connect(addr,
+//	    volap.WithRequestTimeout(2*time.Second),
+//	    volap.WithReadPreference(volap.ReadPreferReplica))
+func Connect(addr string, options ...ClientOption) (*Client, error) {
+	var opts ClientOptions
+	for _, apply := range options {
+		apply(&opts)
+	}
+	return connect(addr, opts, true, 0)
 }
 
-// ConnectWith is Connect with an explicit request policy.
-func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
+// connect dials and, when handshake is set, learns the dimension count
+// from server.hello; otherwise it trusts the given dims (the deprecated
+// ConnectDims path, which must stay handshake-free for callers talking
+// to minimal or test servers).
+func connect(addr string, opts ClientOptions, handshake bool, dims int) (*Client, error) {
 	opts.defaults()
 	reg := opts.Metrics
 	if reg == nil {
@@ -826,6 +954,13 @@ func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
 	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout, Metrics: reg})
 	if err != nil {
 		return nil, err
+	}
+	cl := &Client{
+		c: nc, dims: dims, retries: opts.MaxRetries, reg: reg,
+		readPref: opts.ReadPreference, maxLag: opts.MaxReplicaLag,
+	}
+	if !handshake {
+		return cl, nil
 	}
 	resp, err := nc.Request("server.hello", nil)
 	if err != nil {
@@ -837,27 +972,32 @@ func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("volap: handshake with %s: %w", addr, err)
 	}
-	return &Client{c: nc, dims: h.Dims, hash: h.ConfigHash, retries: opts.MaxRetries, reg: reg}, nil
+	cl.dims, cl.hash = h.Dims, h.ConfigHash
+	return cl, nil
+}
+
+// ConnectWith is Connect with an explicit options struct.
+//
+// Deprecated: use Connect with functional options.
+func ConnectWith(addr string, opts ClientOptions) (*Client, error) {
+	return connect(addr, opts, true, 0)
 }
 
 // ConnectDims attaches a client session without the handshake round
 // trip, for callers that already know the schema's dimension count.
+//
+// Deprecated: use Connect, which learns the dimension count from the
+// server.hello handshake.
 func ConnectDims(addr string, dims int) (*Client, error) {
-	return ConnectDimsWith(addr, dims, ClientOptions{})
+	return connect(addr, ClientOptions{}, false, dims)
 }
 
-// ConnectDimsWith is ConnectDims with an explicit request policy.
+// ConnectDimsWith is ConnectDims with an explicit options struct.
+//
+// Deprecated: use Connect, which learns the dimension count from the
+// server.hello handshake.
 func ConnectDimsWith(addr string, dims int, opts ClientOptions) (*Client, error) {
-	opts.defaults()
-	reg := opts.Metrics
-	if reg == nil {
-		reg = metrics.NewRegistry()
-	}
-	nc, err := netmsg.DialOptions(addr, netmsg.DialOpts{DefaultTimeout: opts.RequestTimeout, Metrics: reg})
-	if err != nil {
-		return nil, err
-	}
-	return &Client{c: nc, dims: dims, retries: opts.MaxRetries, reg: reg}, nil
+	return connect(addr, opts, false, dims)
 }
 
 // Dims returns the schema dimension count the session encodes items
@@ -957,9 +1097,18 @@ func (cl *Client) BulkLoad(ctx context.Context, items []Item) error {
 	return err
 }
 
-// Query runs an aggregate query.
+// Query runs an aggregate query under the session's read preference
+// (leader-only unless the session was opened with WithReadPreference).
 func (cl *Client) Query(ctx context.Context, q Rect) (Aggregate, QueryInfo, error) {
-	resp, err := cl.request(ctx, "server.query", newRectPayload(q))
+	return cl.QueryWith(ctx, q, QueryOptions{Read: cl.readPref, MaxReplicaLag: cl.maxLag})
+}
+
+// QueryWith runs an aggregate query with an explicit per-query read
+// preference, overriding the session default. Under ReadPreferReplica
+// the reply's QueryInfo reports which shards a replica copy served
+// (ReplicaShards) and the largest staleness observed (MaxReplicaLag).
+func (cl *Client) QueryWith(ctx context.Context, q Rect, opts QueryOptions) (Aggregate, QueryInfo, error) {
+	resp, err := cl.request(ctx, "server.query", server.EncodeQueryRequest(q, opts))
 	if err != nil {
 		return core.NewAggregate(), QueryInfo{}, err
 	}
@@ -1021,6 +1170,11 @@ func (cl *Client) QueryNoCtx(q Rect) (Aggregate, QueryInfo, error) {
 	return cl.Query(context.Background(), q)
 }
 
+// QueryWithNoCtx is QueryWith with context.Background().
+func (cl *Client) QueryWithNoCtx(q Rect, opts QueryOptions) (Aggregate, QueryInfo, error) {
+	return cl.QueryWith(context.Background(), q, opts)
+}
+
 // GroupByNoCtx is GroupBy with context.Background().
 func (cl *Client) GroupByNoCtx(base Rect, dim, level int) ([]GroupResult, error) {
 	return cl.GroupBy(context.Background(), base, dim, level)
@@ -1036,9 +1190,3 @@ func (cl *Client) ClusterStatsNoCtx() (*ClusterStats, error) {
 
 // Close detaches the session.
 func (cl *Client) Close() { cl.c.Close() }
-
-func newRectPayload(q Rect) []byte {
-	w := wire.NewWriter(64)
-	q.Encode(w)
-	return w.Bytes()
-}

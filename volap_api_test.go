@@ -104,13 +104,17 @@ func twoDimSchema(t *testing.T) *Schema {
 func TestOptionsValidation(t *testing.T) {
 	schema := TPCDSSchema()
 	bad := []Options{
-		{},                                     // no schema
-		{Schema: schema, Workers: -1},          // negative workers
-		{Schema: schema, Servers: -2},          // negative servers
-		{Schema: schema, Servers: 1},           // servers without workers: Workers stays 0
-		{Schema: schema, RequestTimeout: -1},   // negative timeout
-		{Schema: schema, MaxRetries: -3},       // negative retries
-		{Schema: schema, Transport: "carrier"}, // unknown transport
+		{},                                      // no schema
+		{Schema: schema, Workers: -1},           // negative workers
+		{Schema: schema, Servers: -2},           // negative servers
+		{Schema: schema, Servers: 1},            // servers without workers: Workers stays 0
+		{Schema: schema, RequestTimeout: -1},    // negative timeout
+		{Schema: schema, MaxRetries: -3},        // negative retries
+		{Schema: schema, Transport: "carrier"},  // unknown transport
+		{Schema: schema, ReplicationFactor: -1}, // negative RF
+		{Schema: schema, ReplicationFactor: 3},  // RF beyond the default 2 workers
+		{Schema: schema, Workers: 2, ReplicationFactor: 2, Durability: DurabilitySync}, // RF>1 without DataDir
+		{Schema: schema, Workers: 2, ReplicationFactor: 2},                             // RF>1 without durability
 	}
 	for i, o := range bad {
 		if err := o.defaults(); err == nil {
@@ -126,6 +130,14 @@ func TestOptionsValidation(t *testing.T) {
 	}
 	if good.Workers != 2 || good.Servers != 1 {
 		t.Fatalf("defaults: workers %d servers %d", good.Workers, good.Servers)
+	}
+	if good.ReplicationFactor != 1 {
+		t.Fatalf("defaults: replication factor %d, want 1", good.ReplicationFactor)
+	}
+	replicated := Options{Schema: schema, Workers: 3, ReplicationFactor: 2,
+		Durability: DurabilitySync, DataDir: t.TempDir()}
+	if err := replicated.defaults(); err != nil {
+		t.Fatalf("RF=2 with durability rejected: %v", err)
 	}
 }
 
