@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-ingest bench-worker bench-replication examples smoke
+.PHONY: check fmt vet build test race bench bench-ingest bench-worker bench-replication bench-rollup examples smoke
 
 # The standard gate: everything CI (and the tier-1 verify) runs.
 check: fmt vet build race
@@ -41,6 +41,11 @@ bench-worker:
 # and the failover window, emitted machine-readable as BENCH_replication.json.
 bench-replication:
 	./scripts/bench_replication.sh
+
+# Materialized rollups: grouped-query latency from rollup cells vs the
+# raw tree-scan path, emitted machine-readable as BENCH_rollup.json.
+bench-rollup:
+	./scripts/bench_rollup.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -264,16 +264,15 @@ func TestReplicationFailoverTime(t *testing.T) {
 	}
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && !info.Partial() && agg.Count == want {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !res.Info.Partial() && res.Agg.Count == want {
 			break
 		}
 		if err != nil && !errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrWorkerDown) {
 			t.Fatalf("failover query: %v", err)
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("failover never converged: err=%v partial=%v missing=%v count=%d want=%d",
-				err, info.Partial(), info.MissingShards, agg.Count, want)
+			t.Fatalf("failover never converged: err=%v res=%+v want=%d", err, res, want)
 		}
 		time.Sleep(time.Millisecond)
 	}

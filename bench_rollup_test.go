@@ -1,0 +1,102 @@
+package volap
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Rollup benchmarks: the repeated group-by/dashboard workload served
+// from materialized rollup cells versus the raw per-shard tree scans.
+// scripts/bench_rollup.sh runs these and emits BENCH_rollup.json.
+
+// benchRollupCluster boots a 2-worker TPC-DS cluster with rollup
+// definitions matching the dashboard's grouping dimensions, loads it,
+// and waits until the servers' image makes the full count visible.
+func benchRollupCluster(b *testing.B, items int) *Client {
+	b.Helper()
+	opts := DefaultOptions(TPCDSSchema())
+	opts.Workers = 2
+	opts.Servers = 1
+	opts.ShardsPerWorker = 2
+	opts.BalanceInterval = -1
+	opts.SyncInterval = 25 * time.Millisecond
+	for _, spec := range []string{"all", "Store:1", "Store:1,Date:1", "Item:1,Date:1"} {
+		def, err := ParseRollupDef(opts.Schema, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Rollups = append(opts.Rollups, def)
+	}
+	c, err := Start(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	cl, err := c.Client()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	gen := NewGenerator(opts.Schema, 42, 1.1)
+	for off := 0; off < items; off += 2000 {
+		n := 2000
+		if off+n > items {
+			n = items - off
+		}
+		if err := cl.BulkLoadNoCtx(gen.Items(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	all := AllRect(opts.Schema)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := cl.QueryNoCtx(all)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Agg.Count == uint64(items) && !res.Info.Partial() {
+			return cl
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("full count not visible: got %d, want %d", res.Agg.Count, items)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkRollupGroupBy meters the dashboard pattern — group revenue
+// by store country and by sale year over the full space — with the
+// rollup router on (sub-benchmark "rollup") and forced to the raw tree
+// path (sub-benchmark "raw"). One op is one grouped query.
+func BenchmarkRollupGroupBy(b *testing.B) {
+	const items = 60000
+	type q struct {
+		dim, level int
+	}
+	queries := []q{{0, 0}, {4, 0}} // Store country, Date year
+	run := func(b *testing.B, extra ...QueryOption) {
+		cl := benchRollupCluster(b, items)
+		rng := rand.New(rand.NewSource(7))
+		all := AllRect(TPCDSSchema())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pick := queries[rng.Intn(len(queries))]
+			opt := append([]QueryOption{WithGroupBy(pick.dim, pick.level)}, extra...)
+			res, err := cl.QueryNoCtx(all, opt...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Agg.Count != items {
+				b.Fatalf("count = %d, want %d", res.Agg.Count, items)
+			}
+		}
+	}
+	b.Run("rollup", func(b *testing.B) {
+		run(b)
+	})
+	b.Run("raw", func(b *testing.B) {
+		run(b, WithNoRollup())
+	})
+}

@@ -191,14 +191,14 @@ func cluster(b *testing.B) {
 			panic(err)
 		}
 		count := func(q volap.Rect) uint64 {
-			agg, _, err := benchClient.QueryNoCtx(q)
+			res, err := benchClient.QueryNoCtx(q)
 			if err != nil {
 				return 0
 			}
-			return agg.Count
+			return res.Agg.Count
 		}
-		total, _, _ := benchClient.QueryNoCtx(volap.AllRect(benchClus.Schema()))
-		benchBins = benchGen.GenerateBinned(count, total.Count, 10, 3000)
+		total, _ := benchClient.QueryNoCtx(volap.AllRect(benchClus.Schema()))
+		benchBins = benchGen.GenerateBinned(count, total.Agg.Count, 10, 3000)
 	})
 }
 
@@ -223,7 +223,7 @@ func benchClusterQuery(b *testing.B, band tpcds.Band) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := benchClient.QueryNoCtx(benchBins.Pick(rng, band)); err != nil {
+		if _, err := benchClient.QueryNoCtx(benchBins.Pick(rng, band)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,7 +241,7 @@ func BenchmarkFig8Mixed50(b *testing.B) {
 			}
 		} else {
 			band := tpcds.Band(rng.Intn(3))
-			if _, _, err := benchClient.QueryNoCtx(benchBins.Pick(rng, band)); err != nil {
+			if _, err := benchClient.QueryNoCtx(benchBins.Pick(rng, band)); err != nil {
 				b.Fatal(err)
 			}
 		}

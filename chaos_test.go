@@ -101,12 +101,12 @@ func TestChaosKillWorkerMidInsertStream(t *testing.T) {
 	loads := seedStream(t, c, cl, 300)
 	liveCount := loads[0] // w0 survives; w1 dies
 
-	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || info.Partial() {
-		t.Fatalf("healthy query: err=%v partial=%v", err, info.Partial())
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Info.Partial() {
+		t.Fatalf("healthy query: err=%v res=%+v", err, res)
 	}
-	if agg.Count != loads[0]+loads[1] {
-		t.Fatalf("healthy count = %d, want %d", agg.Count, loads[0]+loads[1])
+	if res.Agg.Count != loads[0]+loads[1] {
+		t.Fatalf("healthy count = %d, want %d", res.Agg.Count, loads[0]+loads[1])
 	}
 
 	// Crash w1 mid-stream and let its lease run out on the fake clock.
@@ -141,20 +141,19 @@ func TestChaosKillWorkerMidInsertStream(t *testing.T) {
 
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err = cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && info.Partial() &&
-			len(info.MissingShards) == 2 && agg.Count == liveCount {
+		res, err = cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && res.Info.Partial() &&
+			len(res.Info.MissingShards) == 2 && res.Agg.Count == liveCount {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("degraded state never settled: err=%v partial=%v missing=%v count=%d want=%d",
-				err, info.Partial(), info.MissingShards, agg.Count, liveCount)
+			t.Fatalf("degraded state never settled: err=%v res=%+v want=%d", err, res, liveCount)
 		}
 		time.Sleep(time.Millisecond)
 	}
 	// w0 owns shards {0,1}, w1 owns {2,3} (sequential allocation).
-	if info.MissingShards[0] != 2 || info.MissingShards[1] != 3 {
-		t.Fatalf("missing shards = %v, want [2 3]", info.MissingShards)
+	if res.Info.MissingShards[0] != 2 || res.Info.MissingShards[1] != 3 {
+		t.Fatalf("missing shards = %v, want [2 3]", res.Info.MissingShards)
 	}
 
 	// The stream continues against the degraded cluster: every insert
@@ -266,13 +265,12 @@ func chaosKillRestartRecover(t *testing.T, ingestWorkers int) {
 	want := seeded + ok
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && !info.Partial() && len(info.MissingShards) == 0 && agg.Count == want {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !res.Info.Partial() && len(res.Info.MissingShards) == 0 && res.Agg.Count == want {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("recovery never converged: err=%v partial=%v missing=%v count=%d want=%d",
-				err, info.Partial(), info.MissingShards, agg.Count, want)
+			t.Fatalf("recovery never converged: err=%v res=%+v want=%d", err, res, want)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -283,10 +281,9 @@ func chaosKillRestartRecover(t *testing.T, ingestWorkers int) {
 			t.Fatalf("post-recovery insert %d: %v", i, err)
 		}
 	}
-	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || info.Partial() || agg.Count != want+50 {
-		t.Fatalf("post-recovery query: err=%v partial=%v count=%d want=%d",
-			err, info.Partial(), agg.Count, want+50)
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Info.Partial() || res.Agg.Count != want+50 {
+		t.Fatalf("post-recovery query: err=%v res=%+v want=%d", err, res, want+50)
 	}
 }
 
@@ -329,14 +326,13 @@ func TestChaosPartitionServerWorker(t *testing.T) {
 	f.Partition("server/s0", c.WorkerAddr(1))
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && info.Partial() &&
-			len(info.MissingShards) == 2 && agg.Count == loads[0] {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && res.Info.Partial() &&
+			len(res.Info.MissingShards) == 2 && res.Agg.Count == loads[0] {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("partitioned query never degraded: err=%v partial=%v missing=%v count=%d want=%d",
-				err, info.Partial(), info.MissingShards, agg.Count, loads[0])
+			t.Fatalf("partitioned query never degraded: err=%v res=%+v want=%d", err, res, loads[0])
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -359,13 +355,12 @@ func TestChaosPartitionServerWorker(t *testing.T) {
 	f.Heal("server/s0", c.WorkerAddr(1))
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && !info.Partial() && agg.Count == total {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !res.Info.Partial() && res.Agg.Count == total {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("healed query never recovered: err=%v partial=%v count=%d want=%d",
-				err, info.Partial(), agg.Count, total)
+			t.Fatalf("healed query never recovered: err=%v res=%+v want=%d", err, res, total)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -581,13 +576,12 @@ func chaosPrimaryFailover(t *testing.T, ingestWorkers int) {
 	want := seeded + ok
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && !info.Partial() && len(info.MissingShards) == 0 && agg.Count == want {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !res.Info.Partial() && len(res.Info.MissingShards) == 0 && res.Agg.Count == want {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("failover never converged: err=%v partial=%v missing=%v count=%d want=%d",
-				err, info.Partial(), info.MissingShards, agg.Count, want)
+			t.Fatalf("failover never converged: err=%v res=%+v want=%d", err, res, want)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -609,10 +603,9 @@ func chaosPrimaryFailover(t *testing.T, ingestWorkers int) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || info.Partial() || agg.Count != want+extra {
-		t.Fatalf("post-failover query: err=%v partial=%v count=%d want=%d",
-			err, info.Partial(), agg.Count, want+extra)
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Info.Partial() || res.Agg.Count != want+extra {
+		t.Fatalf("post-failover query: err=%v res=%+v want=%d", err, res, want+extra)
 	}
 }
 
@@ -644,10 +637,11 @@ func TestReplicaReadPath(t *testing.T) {
 	defer cl.Close()
 
 	seedStream(t, c, cl, 300)
-	leaderAgg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	leader, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil {
 		t.Fatal(err)
 	}
+	leaderAgg := leader.Agg
 
 	sawReplica := false
 	for i := 0; i < 8; i++ {
@@ -681,9 +675,9 @@ func TestReplicaReadPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rcl.Close()
-	agg, _, err := rcl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || agg.Count != leaderAgg.Count {
-		t.Fatalf("session-preference query: err=%v count=%d want=%d", err, agg.Count, leaderAgg.Count)
+	res, err := rcl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Agg.Count != leaderAgg.Count {
+		t.Fatalf("session-preference query: err=%v res=%+v want=%d", err, res, leaderAgg.Count)
 	}
 }
 
@@ -739,12 +733,12 @@ func TestPromoteReplicaManual(t *testing.T) {
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && !info.Partial() && agg.Count == total+100 {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && !res.Info.Partial() && res.Agg.Count == total+100 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("promotion never converged: err=%v count=%d want=%d", err, agg.Count, total+100)
+			t.Fatalf("promotion never converged: err=%v res=%+v want=%d", err, res, total+100)
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -20,14 +20,26 @@ import (
 	"repro/internal/image"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/rollup"
 	"repro/internal/tpcds"
 )
+
+// rollupSpecs collects repeatable -rollup flags.
+type rollupSpecs []string
+
+func (r *rollupSpecs) String() string { return fmt.Sprint(*r) }
+func (r *rollupSpecs) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5550", "TCP listen address")
 	initCfg := flag.Bool("init", true, "seed /volap/config with the TPC-DS cluster configuration if absent")
 	leafCap := flag.Int("leaf-capacity", 64, "shard tree leaf capacity")
 	dirCap := flag.Int("dir-capacity", 16, "shard tree directory fan-out")
+	var rollups rollupSpecs
+	flag.Var(&rollups, "rollup", "materialized rollup definition, e.g. Store:1,Date:2 (repeatable; dims omitted from the spec are aggregated away)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/volap on this address (off when empty)")
 	flag.Parse()
 
@@ -37,6 +49,14 @@ func main() {
 			Schema:       tpcds.Schema(),
 			LeafCapacity: *leafCap,
 			DirCapacity:  *dirCap,
+		}
+		for _, spec := range rollups {
+			def, err := rollup.ParseDef(cfg.Schema, spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "volap-coord: -rollup:", err)
+				os.Exit(1)
+			}
+			cfg.Rollups = append(cfg.Rollups, def)
 		}
 		if _, err := store.Create(image.PathConfig, cfg.EncodeBytes()); err != nil {
 			fmt.Fprintln(os.Stderr, "volap-coord: init:", err)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	volap "repro"
@@ -36,16 +37,21 @@ func main() {
 	bulk := fs.Bool("bulk", false, "use the bulk ingestion path")
 	readPref := fs.String("read-pref", "leader", "query read path: leader or replica")
 	maxLag := fs.Uint64("max-replica-lag", 0, "staleness bound for replica reads in WAL records (0 = server default)")
+	groupBy := fs.String("group-by", "", "grouped query: dim:level (dimension by name or index, level 0-based)")
+	noRollup := fs.Bool("no-rollup", false, "force the raw tree path even when a rollup covers the query")
 	metricsAddr := fs.String("metrics-addr", "", "serve the session's /metrics on this address (off when empty)")
 	_ = fs.Parse(args)
 
-	var qopts volap.QueryOptions
+	var qopt []volap.QueryOption
 	switch *readPref {
 	case "leader":
 	case "replica":
-		qopts = volap.QueryOptions{Read: volap.ReadPreferReplica, MaxReplicaLag: *maxLag}
+		qopt = append(qopt, volap.WithReadPref(volap.ReadPreferReplica), volap.WithMaxLag(*maxLag))
 	default:
 		fatal(fmt.Errorf("unknown -read-pref %q (want leader or replica)", *readPref), "flags")
+	}
+	if *noRollup {
+		qopt = append(qopt, volap.WithNoRollup())
 	}
 
 	co, err := coord.DialClient(*coordAddr)
@@ -80,26 +86,77 @@ func main() {
 		cl, schema := connect(co, *serverAddr)
 		defer cl.Close()
 		defer serveObs(*metricsAddr, cl)()
-		agg, info, err := cl.QueryWithNoCtx(volap.AllRect(schema), qopts)
+		if *groupBy != "" {
+			dim, level := parseGroupBy(schema, *groupBy)
+			start := time.Now()
+			res, err := cl.QueryNoCtx(volap.AllRect(schema), append(qopt, volap.WithGroupBy(dim, level))...)
+			fatal(err, "group-by")
+			fmt.Printf("group-by %s:%d source=%s shards=%d latency=%v%s%s\n",
+				schema.Dim(dim).Name(), level, res.Info.Source(), res.Info.ShardsSearched,
+				time.Since(start).Round(time.Microsecond), replicaNote(res.Info), partialNote(res.Info))
+			for _, g := range res.Groups {
+				fmt.Printf("  value=%-6d count=%-10d sum=%-14.2f\n", g.Value, g.Agg.Count, g.Agg.Sum)
+			}
+			return
+		}
+		res, err := cl.QueryNoCtx(volap.AllRect(schema), qopt...)
 		fatal(err, "query")
-		fmt.Printf("database: count=%d sum=%.2f avg=%.2f (searched %d shards on %d workers)%s%s\n",
-			agg.Count, agg.Sum, agg.Avg(), info.ShardsSearched, info.WorkersContacted, replicaNote(info), partialNote(info))
+		fmt.Printf("database: count=%d sum=%.2f avg=%.2f source=%s (searched %d shards on %d workers)%s%s\n",
+			res.Agg.Count, res.Agg.Sum, res.Agg.Avg(), res.Info.Source(), res.Info.ShardsSearched,
+			res.Info.WorkersContacted, replicaNote(res.Info), partialNote(res.Info))
+		total := res.Agg.Count
 		gen := tpcds.NewGenerator(schema, *seed, 1.1)
 		for i := 0; i < *n; i++ {
 			q := gen.Query()
 			start := time.Now()
-			agg, info, err := cl.QueryWithNoCtx(q, qopts)
+			res, err := cl.QueryNoCtx(q, qopt...)
 			fatal(err, "query")
 			cov := 0.0
-			if total, _, err := cl.QueryNoCtx(volap.AllRect(schema)); err == nil && total.Count > 0 {
-				cov = float64(agg.Count) / float64(total.Count)
+			if total > 0 {
+				cov = float64(res.Agg.Count) / float64(total)
 			}
-			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d latency=%v%s%s\n",
-				i, cov*100, agg.Count, agg.Sum, info.ShardsSearched, time.Since(start).Round(time.Microsecond), replicaNote(info), partialNote(info))
+			fmt.Printf("q%-3d coverage=%5.1f%% count=%-10d sum=%-14.2f shards=%-3d source=%-6s latency=%v%s%s\n",
+				i, cov*100, res.Agg.Count, res.Agg.Sum, res.Info.ShardsSearched, res.Info.Source(),
+				time.Since(start).Round(time.Microsecond), replicaNote(res.Info), partialNote(res.Info))
 		}
 	default:
 		usage()
 	}
+}
+
+// parseGroupBy resolves a "dim:level" spec against the schema; the
+// dimension may be named or given as an index, the level is 0-based.
+func parseGroupBy(schema *volap.Schema, spec string) (dim, level int) {
+	var dimPart, lvlPart string
+	for i := len(spec) - 1; i >= 0; i-- {
+		if spec[i] == ':' {
+			dimPart, lvlPart = spec[:i], spec[i+1:]
+			break
+		}
+	}
+	if dimPart == "" || lvlPart == "" {
+		fatal(fmt.Errorf("want dim:level, got %q", spec), "group-by")
+	}
+	dim = -1
+	for i := 0; i < schema.NumDims(); i++ {
+		if schema.Dim(i).Name() == dimPart {
+			dim = i
+			break
+		}
+	}
+	if dim < 0 {
+		if v, err := strconv.Atoi(dimPart); err == nil && v >= 0 && v < schema.NumDims() {
+			dim = v
+		} else {
+			fatal(fmt.Errorf("unknown dimension %q", dimPart), "group-by")
+		}
+	}
+	v, err := strconv.Atoi(lvlPart)
+	if err != nil || v < 0 || v >= schema.Dim(dim).Depth() {
+		fatal(fmt.Errorf("level %q out of range for dimension %s (depth %d)",
+			lvlPart, schema.Dim(dim).Name(), schema.Dim(dim).Depth()), "group-by")
+	}
+	return dim, v
 }
 
 // partialNote flags a degraded result so a lower-than-expected count is

@@ -80,13 +80,13 @@ func main() {
 		report(client, fmt.Sprintf("phase %d loaded %d items", phase, *perPhase))
 
 		// The database remains exact throughout.
-		agg, _, err := client.QueryNoCtx(volap.AllRect(schema))
+		res, err := client.QueryNoCtx(volap.AllRect(schema))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("   query check: count=%d (expected %d)\n", agg.Count, expected)
-		if agg.Count != expected {
-			log.Fatalf("lost data: %d != %d", agg.Count, expected)
+		fmt.Printf("   query check: count=%d (expected %d)\n", res.Agg.Count, expected)
+		if res.Agg.Count != expected {
+			log.Fatalf("lost data: %d != %d", res.Agg.Count, expected)
 		}
 	}
 

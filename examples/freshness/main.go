@@ -63,11 +63,11 @@ func main() {
 
 	// Regime 1: inserts into already-described space — immediate.
 	firstItem := gen.Item()
-	before, _, _ := b.QueryNoCtx(volap.AllRect(schema))
+	before, _ := b.QueryNoCtx(volap.AllRect(schema))
 	if err := a.InsertNoCtx(firstItem); err != nil {
 		log.Fatal(err)
 	}
-	lag := waitVisible(b, volap.AllRect(schema), before.Count+1)
+	lag := waitVisible(b, volap.AllRect(schema), before.Agg.Count+1)
 	fmt.Printf("in-box insert visible cross-server after %v (no sync needed: data lives on workers)\n\n", lag.Round(time.Microsecond))
 
 	// Regime 2: bursts into unseen corners of the space. Each burst gets
@@ -113,12 +113,12 @@ func main() {
 func waitVisible(cl *volap.Client, q volap.Rect, want uint64) time.Duration {
 	start := time.Now()
 	for {
-		agg, _, err := cl.QueryNoCtx(q)
-		if err == nil && agg.Count >= want {
+		res, err := cl.QueryNoCtx(q)
+		if err == nil && res.Agg.Count >= want {
 			return time.Since(start)
 		}
 		if time.Since(start) > 30*time.Second {
-			log.Fatalf("visibility timed out at %d/%d", agg.Count, want)
+			log.Fatalf("visibility timed out (want %d)", want)
 		}
 		time.Sleep(time.Millisecond)
 	}

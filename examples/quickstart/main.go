@@ -70,11 +70,13 @@ func main() {
 	check(client.InsertBatch(ctx, items))
 	fmt.Printf("inserted %d sales\n", len(items))
 
-	// Query 1: everything.
-	all, info, err := client.Query(ctx, volap.AllRect(schema))
+	// Query 1: everything. Query returns a Result holding the aggregate
+	// plus QueryInfo (shards searched, and whether a materialized rollup
+	// or the raw trees served it — res.Info.Source()).
+	res, err := client.Query(ctx, volap.AllRect(schema))
 	check(err)
-	fmt.Printf("total:            count=%d sum=%.2f avg=%.2f (searched %d shards)\n",
-		all.Count, all.Sum, all.Avg(), info.ShardsSearched)
+	fmt.Printf("total:            count=%d sum=%.2f avg=%.2f (searched %d shards, source=%s)\n",
+		res.Agg.Count, res.Agg.Sum, res.Agg.Avg(), res.Info.ShardsSearched, res.Info.Source())
 
 	// Query 2: one country, all products, all dates — a level-1 value in
 	// the Store hierarchy is a contiguous interval of leaf ordinals.
@@ -82,9 +84,9 @@ func main() {
 	check(err)
 	allProducts, _ := product.NodeInterval(0, nil)
 	allDates, _ := date.NodeInterval(0, nil)
-	agg, _, err := client.Query(ctx, volap.NewRect(country0, allProducts, allDates))
+	res, err = client.Query(ctx, volap.NewRect(country0, allProducts, allDates))
 	check(err)
-	fmt.Printf("country 0:        count=%d sum=%.2f\n", agg.Count, agg.Sum)
+	fmt.Printf("country 0:        count=%d sum=%.2f\n", res.Agg.Count, res.Agg.Sum)
 
 	// Query 3: category 0 in year 2 — values at different levels in
 	// different dimensions, as VOLAP queries always are.
@@ -93,10 +95,10 @@ func main() {
 	check(err)
 	year2, err := date.NodeInterval(1, []uint32{2})
 	check(err)
-	agg, _, err = client.Query(ctx, volap.NewRect(allStores, cat0, year2))
+	res, err = client.Query(ctx, volap.NewRect(allStores, cat0, year2))
 	check(err)
 	fmt.Printf("cat 0 in year 2:  count=%d sum=%.2f min=%.2f max=%.2f\n",
-		agg.Count, agg.Sum, agg.Min, agg.Max)
+		res.Agg.Count, res.Agg.Sum, res.Agg.Min, res.Agg.Max)
 }
 
 func check(err error) {

@@ -58,17 +58,17 @@ func main() {
 
 	// Bin dashboard queries by their true coverage, as §IV does.
 	count := func(q volap.Rect) uint64 {
-		agg, _, err := client.QueryNoCtx(q)
+		res, err := client.QueryNoCtx(q)
 		if err != nil {
 			return 0
 		}
-		return agg.Count
+		return res.Agg.Count
 	}
-	total, _, err := client.QueryNoCtx(volap.AllRect(schema))
+	total, err := client.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bins := gen.GenerateBinned(count, total.Count, 10, 3000)
+	bins := gen.GenerateBinned(count, total.Agg.Count, 10, 3000)
 
 	// The live stream: 50% inserts, 50% queries drawn across bands.
 	rng := rand.New(rand.NewSource(7))
@@ -87,7 +87,7 @@ func main() {
 		} else {
 			band := volap.Band(rng.Intn(3))
 			t0 := time.Now()
-			if _, _, err := client.QueryNoCtx(bins.Pick(rng, band)); err != nil {
+			if _, err := client.QueryNoCtx(bins.Pick(rng, band)); err != nil {
 				log.Fatal(err)
 			}
 			qryNanos += time.Since(t0).Nanoseconds()
@@ -122,15 +122,19 @@ func dashboard(client *volap.Client, schema *volap.Schema, ins, qry uint64, insN
 	if qry > 0 {
 		qryMs = float64(qryNs) / float64(qry) / 1e6
 	}
-	all, _, err := client.QueryNoCtx(volap.AllRect(schema))
+	allRes, err := client.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		return
 	}
-	// Revenue by store country: a GroupBy roll-up over dimension 0.
-	groups, err := client.GroupByNoCtx(volap.AllRect(schema), 0, 0)
-	if err != nil {
+	all := allRes.Agg
+	// Revenue by store country: a grouped query over dimension 0. The
+	// unified API answers it from a materialized rollup when one covers
+	// the query (grouped.Info.Source() reports which path served it).
+	grouped, err := client.QueryNoCtx(volap.AllRect(schema), volap.WithGroupBy(0, 0))
+	if err != nil || len(grouped.Groups) == 0 {
 		return
 	}
+	groups := grouped.Groups
 	best := groups[0]
 	for _, g := range groups {
 		if g.Agg.Sum > best.Agg.Sum {

@@ -97,22 +97,22 @@ func TestMultiProcessDeployment(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	agg, info, err := cl.QueryNoCtx(volap.AllRect(schema))
+	res, err := cl.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if agg.Count != n {
-		t.Fatalf("count over TCP deployment = %d, want %d", agg.Count, n)
+	if res.Agg.Count != n {
+		t.Fatalf("count over TCP deployment = %d, want %d", res.Agg.Count, n)
 	}
-	if info.WorkersContacted != 2 {
-		t.Errorf("workers contacted = %d, want 2", info.WorkersContacted)
+	if res.Info.WorkersContacted != 2 {
+		t.Errorf("workers contacted = %d, want 2", res.Info.WorkersContacted)
 	}
 
 	// A traced query: the same trace ID must surface in the trace-event
 	// buffers of all three processes (server and both workers), read
 	// back over their /debug/volap endpoints.
 	ctx, traceID := volap.WithTrace(context.Background())
-	if _, _, err := cl.Query(ctx, volap.AllRect(schema)); err != nil {
+	if _, err := cl.Query(ctx, volap.AllRect(schema)); err != nil {
 		t.Fatal(err)
 	}
 	for _, obsAddr := range []string{srvObs, w0Obs, w1Obs} {

@@ -157,14 +157,14 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 		row.InsertMs = float64(insH.Mean().Microseconds()) / 1000
 
 		count := func(q volap.Rect) uint64 {
-			agg, _, err := cl.QueryNoCtx(q)
+			res, err := cl.QueryNoCtx(q)
 			if err != nil {
 				return 0
 			}
-			return agg.Count
+			return res.Agg.Count
 		}
-		total, _, _ := cl.QueryNoCtx(volap.AllRect(schema))
-		bins := gen.GenerateBinned(count, total.Count, 10, 3000)
+		total, _ := cl.QueryNoCtx(volap.AllRect(schema))
+		bins := gen.GenerateBinned(count, total.Agg.Count, 10, 3000)
 		qOps := cfg.BenchOps / 4
 		for band := tpcds.Low; band <= tpcds.High; band++ {
 			qH := benchHist("bench_scaleup_query_seconds")
@@ -172,7 +172,7 @@ func ScaleUp(cfg ScaleUpConfig) ([]ScaleUpPhase, error) {
 			for i := 0; i < qOps; i++ {
 				q := bins.Pick(rng, band)
 				t0 := time.Now()
-				if _, _, err := cl.QueryNoCtx(q); err != nil {
+				if _, err := cl.QueryNoCtx(q); err != nil {
 					return nil, err
 				}
 				qH.Record(time.Since(t0))

@@ -77,14 +77,14 @@ func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 	cluster.SyncAll()
 
 	count := func(q volap.Rect) uint64 {
-		agg, _, err := cl.QueryNoCtx(q)
+		res, err := cl.QueryNoCtx(q)
 		if err != nil {
 			return 0
 		}
-		return agg.Count
+		return res.Agg.Count
 	}
-	total, _, _ := cl.QueryNoCtx(volap.AllRect(schema))
-	bins := gen.GenerateBinned(count, total.Count, 10, 3000)
+	total, _ := cl.QueryNoCtx(volap.AllRect(schema))
+	bins := gen.GenerateBinned(count, total.Agg.Count, 10, 3000)
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 9))
 	var rows []Fig8Row
@@ -103,7 +103,7 @@ func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 				} else {
 					q := bins.Pick(rng, band)
 					t0 := time.Now()
-					if _, _, err := cl.QueryNoCtx(q); err != nil {
+					if _, err := cl.QueryNoCtx(q); err != nil {
 						return nil, err
 					}
 					qryH.Record(time.Since(t0))
@@ -176,7 +176,7 @@ func Fig9(scale Scale, queries int, seed int64) ([]Fig9Point, error) {
 	time.Sleep(300 * time.Millisecond)
 	cluster.SyncAll()
 
-	total, _, err := cl.QueryNoCtx(volap.AllRect(schema))
+	total, err := cl.QueryNoCtx(volap.AllRect(schema))
 	if err != nil {
 		return nil, err
 	}
@@ -184,16 +184,16 @@ func Fig9(scale Scale, queries int, seed int64) ([]Fig9Point, error) {
 	for i := 0; i < queries; i++ {
 		q := gen.Query()
 		t0 := time.Now()
-		agg, info, err := cl.QueryNoCtx(q)
+		res, err := cl.QueryNoCtx(q)
 		if err != nil {
 			return nil, err
 		}
 		lat := time.Since(t0)
 		cov := 0.0
-		if total.Count > 0 {
-			cov = float64(agg.Count) / float64(total.Count)
+		if total.Agg.Count > 0 {
+			cov = float64(res.Agg.Count) / float64(total.Agg.Count)
 		}
-		pts = append(pts, Fig9Point{Coverage: cov, MS: float64(lat.Microseconds()) / 1000, Shards: info.ShardsSearched})
+		pts = append(pts, Fig9Point{Coverage: cov, MS: float64(lat.Microseconds()) / 1000, Shards: res.Info.ShardsSearched})
 	}
 	return pts, nil
 }

@@ -47,11 +47,20 @@ func serializeStore(s Store) []byte {
 
 // DeserializeStore rebuilds a store from a Serialize blob (§III-E
 // DeserializeShard). The data is bulk-loaded, so a deserialized Hilbert
-// PDC tree comes back packed.
+// PDC tree comes back packed. Bytes beyond the store's own fields are
+// ignored, so composite blobs (store + rollup trailer) decode too.
 func DeserializeStore(b []byte) (Store, error) {
+	s, _, err := DeserializeStoreTrailer(b)
+	return s, err
+}
+
+// DeserializeStoreTrailer is DeserializeStore returning any bytes the
+// blob carries beyond the serialized store — the rollup trailer of a
+// composite shard image, empty for a plain store blob.
+func DeserializeStoreTrailer(b []byte) (Store, []byte, error) {
 	r := wire.NewReader(b)
 	if r.String() != shardMagic {
-		return nil, errors.New("core: not a serialized shard")
+		return nil, nil, errors.New("core: not a serialized shard")
 	}
 	cfg := Config{
 		Store:        StoreKind(r.Uint8()),
@@ -63,24 +72,24 @@ func DeserializeStore(b []byte) (Store, error) {
 	}
 	schema, err := hierarchy.DecodeSchema(r)
 	if err != nil {
-		return nil, fmt.Errorf("core: shard schema: %w", err)
+		return nil, nil, fmt.Errorf("core: shard schema: %w", err)
 	}
 	cfg.Schema = schema
 	if fp := r.Uint64(); fp != schema.Fingerprint() {
-		return nil, errors.New("core: shard schema fingerprint mismatch")
+		return nil, nil, errors.New("core: shard schema fingerprint mismatch")
 	}
 	n := r.Uvarint()
 	if r.Err() != nil {
-		return nil, r.Err()
+		return nil, nil, r.Err()
 	}
 	dims := schema.NumDims()
 	// Each item needs at least dims+8 bytes; reject counts the buffer
 	// cannot possibly hold before allocating for them.
 	if n > uint64(r.Remaining())/uint64(dims+8)+1 {
-		return nil, fmt.Errorf("core: shard claims %d items, buffer too small", n)
+		return nil, nil, fmt.Errorf("core: shard claims %d items, buffer too small", n)
 	}
 	if cfg.LeafCapacity > 1<<20 || cfg.DirCapacity > 1<<20 || cfg.MDSCap > 1<<20 {
-		return nil, errors.New("core: implausible shard configuration")
+		return nil, nil, errors.New("core: implausible shard configuration")
 	}
 	items := make([]Item, 0, n)
 	for i := uint64(0); i < n; i++ {
@@ -90,16 +99,16 @@ func DeserializeStore(b []byte) (Store, error) {
 		}
 		m := r.Float64()
 		if r.Err() != nil {
-			return nil, fmt.Errorf("core: shard truncated at item %d: %w", i, r.Err())
+			return nil, nil, fmt.Errorf("core: shard truncated at item %d: %w", i, r.Err())
 		}
 		items = append(items, Item{Coords: coords, Measure: m})
 	}
 	s, err := NewStore(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := s.BulkLoad(items); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s, nil
+	return s, b[len(b)-r.Remaining():], nil
 }

@@ -169,12 +169,33 @@ type Recovery struct {
 	Duration time.Duration
 }
 
+// RecoverHooks lets the caller ride along on recovery and rebuild
+// derived per-shard state (materialized rollup tables) without a second
+// pass over the data. Both callbacks are optional and run sequentially
+// per shard: SnapshotTrailer first (if the winning snapshot carried
+// trailer bytes beyond the serialized store), then Replayed once per
+// replayed WAL insert batch, in replay order.
+type RecoverHooks struct {
+	// SnapshotTrailer receives the bytes the chosen snapshot blob holds
+	// after the serialized store. Not called when the snapshot is a
+	// plain store blob or the shard recovered without a snapshot.
+	SnapshotTrailer func(shard uint64, trailer []byte)
+	// Replayed receives every WAL-replayed insert batch, after it was
+	// applied to the shard's store.
+	Replayed func(shard uint64, items []core.Item)
+}
+
 // Recover rebuilds every owned shard: newest valid snapshot, then WAL
 // replay in generation order, truncating torn tails. newStore builds an
 // empty store for shards that have no snapshot yet; dims is the schema
 // dimension count used to decode insert records. Recover must be called
 // exactly once, before any append.
 func (d *Log) Recover(dims int, newStore func() (core.Store, error)) (*Recovery, error) {
+	return d.RecoverWithHooks(dims, newStore, RecoverHooks{})
+}
+
+// RecoverWithHooks is Recover with derived-state callbacks.
+func (d *Log) RecoverWithHooks(dims int, newStore func() (core.Store, error), hooks RecoverHooks) (*Recovery, error) {
 	start := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -192,7 +213,7 @@ func (d *Log) Recover(dims int, newStore func() (core.Store, error)) (*Recovery,
 			rec.Released++
 			continue
 		}
-		store, released, err := d.recoverShard(id, dims, newStore, rec)
+		store, released, err := d.recoverShard(id, dims, newStore, rec, hooks)
 		if err != nil {
 			return nil, fmt.Errorf("durable: recover shard %d: %w", id, err)
 		}
@@ -220,7 +241,7 @@ func (d *Log) Recover(dims int, newStore func() (core.Store, error)) (*Recovery,
 // recoverShard rebuilds one shard and opens its WAL for appending;
 // callers hold d.mu. The released return is true when the log ends in an
 // ownership-release record.
-func (d *Log) recoverShard(id uint64, dims int, newStore func() (core.Store, error), rec *Recovery) (core.Store, bool, error) {
+func (d *Log) recoverShard(id uint64, dims int, newStore func() (core.Store, error), rec *Recovery, hooks RecoverHooks) (core.Store, bool, error) {
 	dir := d.shardDir(id)
 	snaps, wals, err := shardFiles(dir)
 	if err != nil {
@@ -242,11 +263,14 @@ func (d *Log) recoverShard(id uint64, dims int, newStore func() (core.Store, err
 		if err != nil {
 			continue
 		}
-		s, err := core.DeserializeStore(blob)
+		s, trailer, err := core.DeserializeStoreTrailer(blob)
 		if err != nil {
 			continue
 		}
 		store, snapGen, haveSnap = s, g, true
+		if len(trailer) > 0 && hooks.SnapshotTrailer != nil {
+			hooks.SnapshotTrailer(id, trailer)
+		}
 		break
 	}
 	if !haveSnap {
@@ -286,6 +310,9 @@ func (d *Log) recoverShard(id uint64, dims int, newStore func() (core.Store, err
 				}
 				if err := store.BulkLoad(items); err != nil {
 					return err
+				}
+				if hooks.Replayed != nil {
+					hooks.Replayed(id, items)
 				}
 				rec.ReplayedRecords++
 			case RecRelease:

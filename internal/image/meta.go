@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hierarchy"
 	"repro/internal/keys"
+	"repro/internal/rollup"
 	"repro/internal/wire"
 )
 
@@ -204,6 +205,10 @@ type ClusterConfig struct {
 	MDSCap       int
 	LeafCapacity int
 	DirCapacity  int
+	// Rollups lists the materialized rollup definitions every worker
+	// maintains per shard and servers route covering queries to. Order
+	// matters: workers and servers refer to definitions by index.
+	Rollups []rollup.Def
 }
 
 // StoreConfig converts to a shard store configuration.
@@ -228,6 +233,10 @@ func (c *ClusterConfig) EncodeBytes() []byte {
 	w.Uvarint(uint64(c.DirCapacity))
 	c.Schema.Encode(w)
 	w.Uint64(c.Schema.Fingerprint())
+	w.Uvarint(uint64(len(c.Rollups)))
+	for _, def := range c.Rollups {
+		def.Encode(w)
+	}
 	return w.Bytes()
 }
 
@@ -248,6 +257,26 @@ func DecodeClusterConfigBytes(b []byte) (*ClusterConfig, error) {
 	c.Schema = schema
 	if fp := r.Uint64(); fp != schema.Fingerprint() || r.Err() != nil {
 		return nil, fmt.Errorf("image: cluster config corrupt")
+	}
+	// Rollup definitions are absent from pre-rollup configurations.
+	if r.Remaining() > 0 {
+		n := r.Uvarint()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("image: cluster rollup count: %w", r.Err())
+		}
+		if n > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("image: cluster rollup count %d exceeds payload", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			def, err := rollup.DecodeDef(r)
+			if err != nil {
+				return nil, fmt.Errorf("image: cluster rollup %d: %w", i, err)
+			}
+			if err := def.Validate(schema); err != nil {
+				return nil, fmt.Errorf("image: cluster rollup %d: %w", i, err)
+			}
+			c.Rollups = append(c.Rollups, def)
+		}
 	}
 	return c, nil
 }

@@ -53,6 +53,9 @@ type QueryOptions struct {
 	// follower may be behind and still serve the read. Zero means
 	// DefaultMaxReplicaLag. Ignored under ReadLeader.
 	MaxReplicaLag uint64
+	// NoRollup forces the raw tree path even when a materialized rollup
+	// covers the query (exact-path benchmarking, debugging).
+	NoRollup bool
 }
 
 // QueryOpts is Query with an explicit read preference.
@@ -174,9 +177,12 @@ func (s *Server) replicaPrePass(ctx context.Context, q keys.Rect, shards []image
 func EncodeQueryRequest(q keys.Rect, opts QueryOptions) []byte {
 	w := wire.NewWriter(64)
 	q.Encode(w)
-	if opts.Read != ReadLeader || opts.MaxReplicaLag != 0 {
+	if opts.Read != ReadLeader || opts.MaxReplicaLag != 0 || opts.NoRollup {
 		w.Uint8(uint8(opts.Read))
 		w.Uvarint(opts.MaxReplicaLag)
+	}
+	if opts.NoRollup {
+		w.Uint8(1)
 	}
 	return w.Bytes()
 }

@@ -121,6 +121,7 @@ type Server struct {
 	downErrs *metrics.Counter      // server_worker_down_total
 
 	replicaReads *metrics.Counter // server_replica_reads_total
+	rollupRouted *metrics.Counter // server_rollup_routed_total
 }
 
 // New builds a server, loads the global image, and starts watching for
@@ -176,6 +177,7 @@ func New(opts Options) (*Server, error) {
 		downErrs:   reg.Counter("server_worker_down_total").With(),
 	}
 	s.replicaReads = reg.Counter("server_replica_reads_total").With()
+	s.rollupRouted = reg.Counter("server_rollup_routed_total").With()
 	reg.GaugeFunc("server_down_workers", func() float64 {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
@@ -620,10 +622,36 @@ type QueryInfo struct {
 	// records, among the replica copies that served this query. Zero
 	// for leader-only reads.
 	MaxReplicaLag uint64
+	// RollupShards counts the searched shards answered from a
+	// materialized rollup table instead of their tree; RollupCells the
+	// rollup cells those answers merged.
+	RollupShards int
+	RollupCells  uint64
 }
 
 // Partial reports whether the aggregate is missing any shard's data.
 func (qi QueryInfo) Partial() bool { return len(qi.MissingShards) > 0 }
+
+// Answer sources reported by QueryInfo.Source.
+const (
+	SourceTree   = "tree"
+	SourceRollup = "rollup"
+	SourceMixed  = "mixed"
+)
+
+// Source names the data path that produced the answer: SourceRollup
+// when every searched shard answered from a materialized rollup table,
+// SourceTree when none did, SourceMixed otherwise.
+func (qi QueryInfo) Source() string {
+	switch {
+	case qi.RollupShards == 0:
+		return SourceTree
+	case qi.RollupShards >= qi.ShardsSearched:
+		return SourceRollup
+	default:
+		return SourceMixed
+	}
+}
 
 // Query scatter-gathers an aggregate query across the workers owning the
 // overlapping shards (§III-B) and merges the partial aggregates. Shard
@@ -654,6 +682,10 @@ func (s *Server) query(ctx context.Context, q keys.Rect, opts QueryOptions) (cor
 	agg := core.NewAggregate()
 	if len(shards) == 0 {
 		return agg, info, nil
+	}
+	defIdx := -1
+	if !opts.NoRollup {
+		defIdx = s.pickRollup(q, -1, 0)
 	}
 	contacted := make(map[string]struct{})
 	missing := make(map[image.ShardID]struct{})
@@ -730,7 +762,7 @@ func (s *Server) query(ctx context.Context, q keys.Rect, opts QueryOptions) (cor
 					results <- partial{ids: ids, err: err}
 					return
 				}
-				resp, err := c.RequestCtx(ctx, "worker.query", worker.EncodeQueryRequest(q, ids))
+				resp, err := c.RequestCtx(ctx, "worker.query", worker.EncodeQueryRequestRollup(q, ids, defIdx))
 				if err != nil {
 					results <- partial{ids: ids, err: err}
 					return
@@ -758,6 +790,8 @@ func (s *Server) query(ctx context.Context, q keys.Rect, opts QueryOptions) (cor
 			}
 			agg.Merge(p.rep.Agg)
 			info.ShardsSearched += int(p.rep.ShardsSearched)
+			info.RollupShards += int(p.rep.RollupShards)
+			info.RollupCells += p.rep.RollupCells
 			succeeded += len(p.ids)
 		}
 		info.WorkersContacted = len(contacted)
@@ -771,6 +805,9 @@ func (s *Server) query(ctx context.Context, q keys.Rect, opts QueryOptions) (cor
 		remaining = failed
 	}
 	info.WorkersContacted = len(contacted)
+	if info.RollupShards > 0 {
+		s.rollupRouted.Inc()
+	}
 	// Shards still unreachable after the retry budget join the dead
 	// workers' shards in the missing set.
 	for _, id := range remaining {
@@ -799,46 +836,212 @@ func (s *Server) query(ctx context.Context, q keys.Rect, opts QueryOptions) (cor
 	return agg, info, nil
 }
 
+// pickRollup returns the index of the cheapest configured rollup
+// definition (fewest cells inside q) whose grid covers q, or -1 when
+// none does. When groupDim >= 0 the definition must additionally retain
+// that dimension at depth groupDepth or deeper, so rollup cells fall
+// entirely inside one group.
+func (s *Server) pickRollup(q keys.Rect, groupDim, groupDepth int) int {
+	best, bestCells := -1, uint64(0)
+	for i, def := range s.cfg.Rollups {
+		if groupDim >= 0 && def.Depths[groupDim] < groupDepth {
+			continue
+		}
+		if !def.Covers(s.cfg.Schema, q) {
+			continue
+		}
+		c := def.CellsIn(s.cfg.Schema, q)
+		if best < 0 || c < bestCells {
+			best, bestCells = i, c
+		}
+	}
+	return best
+}
+
 // GroupBy runs one aggregate per child value of the given dimension and
 // level within the base region: the OLAP roll-up/drill-down primitive.
 // Level l must be a valid level index of the dimension (0-based); the
 // base rectangle's interval in that dimension must cover the grouped
 // values' parent region (typically the All interval).
 func (s *Server) GroupBy(ctx context.Context, base keys.Rect, dim, level int) ([]GroupResult, error) {
+	out, _, err := s.GroupByOpts(ctx, base, dim, level, QueryOptions{})
+	return out, err
+}
+
+// GroupByOpts is GroupBy with query options and a work report. One
+// worker.groupby RPC per owning worker folds all its shards' groups —
+// from a covering rollup table where the configuration has one,
+// otherwise from the trees — instead of one full query per level value.
+// Read preference is ignored: group-by always reads leader copies.
+// Degradation matches Query: shards that stay unreachable are reported
+// in QueryInfo.MissingShards, and the call fails only when nothing
+// answered.
+func (s *Server) GroupByOpts(ctx context.Context, base keys.Rect, dim, level int, opts QueryOptions) ([]GroupResult, QueryInfo, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
+	defer s.instrument(ctx, "groupby")()
 	if dim < 0 || dim >= s.cfg.Schema.NumDims() {
-		return nil, fmt.Errorf("server: group-by dimension %d out of range", dim)
+		return nil, QueryInfo{}, fmt.Errorf("server: group-by dimension %d out of range", dim)
 	}
 	d := s.cfg.Schema.Dim(dim)
 	if level < 0 || level >= d.Depth() {
-		return nil, fmt.Errorf("server: group-by level %d out of range for %s", level, d.Name())
+		return nil, QueryInfo{}, fmt.Errorf("server: group-by level %d out of range for %s", level, d.Name())
 	}
-	// Enumerate the level's values inside the base interval of that
-	// dimension by walking aligned intervals.
+	defIdx := -1
+	if !opts.NoRollup {
+		defIdx = s.pickRollup(base, dim, level+1)
+	}
+	shards := s.idx.RouteQuery(base)
+	info := QueryInfo{ShardsConsidered: len(shards)}
+	groups := make(map[uint64]core.Aggregate)
+	contacted := make(map[string]struct{})
+	missing := make(map[image.ShardID]struct{})
+	succeeded := 0
+	remaining := shards
+	var lastErr error
+	delay := 5 * time.Millisecond
+	for attempt := 0; attempt <= s.maxRetries && len(remaining) > 0; attempt++ {
+		if attempt > 0 {
+			s.retries.Inc("worker.groupby")
+			s.traceAdd(ctx, "worker.groupby.retry", fmt.Sprintf("%d shards attempt %d", len(remaining), attempt))
+			for _, id := range remaining {
+				s.refreshShard(id)
+			}
+			var err error
+			if delay, err = retryBackoff(ctx, delay); err != nil {
+				info.WorkersContacted = len(contacted)
+				return nil, info, err
+			}
+		}
+		live := make([]image.ShardID, 0, len(remaining))
+		for _, id := range remaining {
+			s.mu.RLock()
+			owner := s.owners[id]
+			s.mu.RUnlock()
+			if s.isWorkerDown(owner) {
+				if attempt == 0 {
+					s.refreshShard(id)
+					s.mu.RLock()
+					owner = s.owners[id]
+					s.mu.RUnlock()
+				}
+				if s.isWorkerDown(owner) {
+					missing[id] = struct{}{}
+					continue
+				}
+			}
+			live = append(live, id)
+		}
+		remaining = live
+		if len(remaining) == 0 {
+			break
+		}
+		byWorker := make(map[string][]image.ShardID)
+		s.mu.RLock()
+		for _, id := range remaining {
+			byWorker[s.owners[id]] = append(byWorker[s.owners[id]], id)
+		}
+		s.mu.RUnlock()
+		for w := range byWorker {
+			contacted[w] = struct{}{}
+		}
+
+		type partial struct {
+			ids []image.ShardID
+			rep worker.GroupByReply
+			err error
+		}
+		results := make(chan partial, len(byWorker))
+		for workerID, ids := range byWorker {
+			go func(workerID string, ids []image.ShardID) {
+				c, err := s.workerClient(workerID)
+				if err != nil {
+					results <- partial{ids: ids, err: err}
+					return
+				}
+				resp, err := c.RequestCtx(ctx, "worker.groupby",
+					worker.EncodeGroupByRequest(base, dim, level, ids, defIdx))
+				if err != nil {
+					results <- partial{ids: ids, err: err}
+					return
+				}
+				rep, err := worker.DecodeGroupByReply(resp)
+				results <- partial{ids: ids, rep: rep, err: err}
+			}(workerID, ids)
+		}
+		var failed []image.ShardID
+		var fatal error
+		for range byWorker {
+			p := <-results
+			if p.err != nil {
+				switch classifyWorkerErr(p.err) {
+				case classStale, classTransport:
+					lastErr = p.err
+					failed = append(failed, p.ids...)
+				default:
+					if fatal == nil {
+						fatal = ctxErr(p.err)
+					}
+				}
+				continue
+			}
+			for v, agg := range p.rep.Groups {
+				cur, ok := groups[v]
+				if !ok {
+					cur = core.NewAggregate()
+				}
+				cur.Merge(agg)
+				groups[v] = cur
+			}
+			info.ShardsSearched += int(p.rep.ShardsSearched)
+			info.RollupShards += int(p.rep.RollupShards)
+			info.RollupCells += p.rep.RollupCells
+			succeeded += len(p.ids)
+		}
+		info.WorkersContacted = len(contacted)
+		if fatal != nil {
+			return nil, info, fatal
+		}
+		remaining = failed
+	}
+	info.WorkersContacted = len(contacted)
+	if info.RollupShards > 0 {
+		s.rollupRouted.Inc()
+	}
+	for _, id := range remaining {
+		missing[id] = struct{}{}
+	}
+	if len(missing) > 0 {
+		if succeeded == 0 && len(shards) > 0 {
+			s.unavail.Inc()
+			if lastErr == nil {
+				lastErr = ErrWorkerDown
+			}
+			return nil, info, fmt.Errorf("%w: %d shards unreachable: %v",
+				ErrUnavailable, len(missing), lastErr)
+		}
+		info.MissingShards = make([]image.ShardID, 0, len(missing))
+		for id := range missing {
+			info.MissingShards = append(info.MissingShards, id)
+		}
+		sort.Slice(info.MissingShards, func(i, j int) bool { return info.MissingShards[i] < info.MissingShards[j] })
+		s.partials.Inc()
+	}
+	// Workers return sparse groups; materialize every level value inside
+	// the base interval, empty aggregates included, matching the
+	// per-value query semantics this API always had.
 	span := d.LeavesUnder(level + 1)
-	baseIv := base.Ivs[dim]
-	first := baseIv.Lo / span
-	last := baseIv.Hi / span
+	first := base.Ivs[dim].Lo / span
+	last := base.Ivs[dim].Hi / span
 	out := make([]GroupResult, 0, last-first+1)
 	for v := first; v <= last; v++ {
-		iv := hierarchyInterval(v*span, v*span+span-1)
-		// Clip to the base region.
-		if iv.Lo < baseIv.Lo {
-			iv.Lo = baseIv.Lo
-		}
-		if iv.Hi > baseIv.Hi {
-			iv.Hi = baseIv.Hi
-		}
-		q := keys.Rect{Ivs: append([]hierarchy.Interval(nil), base.Ivs...)}
-		q.Ivs[dim] = iv
-		agg, _, err := s.Query(ctx, q)
-		if err != nil {
-			return nil, err
+		agg, ok := groups[v]
+		if !ok {
+			agg = core.NewAggregate()
 		}
 		out = append(out, GroupResult{Value: v, Agg: agg})
 	}
-	return out, nil
+	return out, info, nil
 }
 
 // GroupResult is one group of a GroupBy: the level-value ordinal (its
@@ -1032,12 +1235,27 @@ func (s *Server) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 			return nil, r.Err()
 		}
 	}
+	// NoRollup is a further trailing extension on top of the replica
+	// preference fields.
+	if r.Remaining() > 0 {
+		opts.NoRollup = r.Uint8() != 0
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
 	agg, info, err := s.query(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
 	w := wire.NewWriter(48)
 	agg.Encode(w)
+	encodeQueryInfo(w, info)
+	return w.Bytes(), nil
+}
+
+// encodeQueryInfo appends a QueryInfo to a reply. Fields are strictly
+// append-only: old clients stop reading after the fields they know.
+func encodeQueryInfo(w *wire.Writer, info QueryInfo) {
 	w.Uvarint(uint64(info.ShardsConsidered))
 	w.Uvarint(uint64(info.ShardsSearched))
 	w.Uvarint(uint64(info.WorkersContacted))
@@ -1050,7 +1268,38 @@ func (s *Server) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 		w.Uvarint(uint64(id))
 	}
 	w.Uvarint(info.MaxReplicaLag)
-	return w.Bytes(), nil
+	w.Uvarint(uint64(info.RollupShards))
+	w.Uvarint(info.RollupCells)
+}
+
+// decodeQueryInfo reads a QueryInfo, tolerating replies from servers
+// predating the replica or rollup fields.
+func decodeQueryInfo(r *wire.Reader) QueryInfo {
+	info := QueryInfo{
+		ShardsConsidered: int(r.Uvarint()),
+		ShardsSearched:   int(r.Uvarint()),
+		WorkersContacted: int(r.Uvarint()),
+	}
+	if n := r.Uvarint(); n > 0 && r.Err() == nil {
+		info.MissingShards = make([]image.ShardID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			info.MissingShards = append(info.MissingShards, image.ShardID(r.Uvarint()))
+		}
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		if n := r.Uvarint(); n > 0 && r.Err() == nil {
+			info.ReplicaShards = make([]image.ShardID, 0, n)
+			for i := uint64(0); i < n; i++ {
+				info.ReplicaShards = append(info.ReplicaShards, image.ShardID(r.Uvarint()))
+			}
+		}
+		info.MaxReplicaLag = r.Uvarint()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		info.RollupShards = int(r.Uvarint())
+		info.RollupCells = r.Uvarint()
+	}
+	return info
 }
 
 func (s *Server) handleGroupBy(ctx context.Context, p []byte) ([]byte, error) {
@@ -1064,45 +1313,79 @@ func (s *Server) handleGroupBy(ctx context.Context, p []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	groups, err := s.GroupBy(ctx, q, dim, level)
+	// Optional trailing options (same extension shape as server.query).
+	var opts QueryOptions
+	if r.Remaining() > 0 {
+		opts.Read = ReadPreference(r.Uint8())
+		opts.MaxReplicaLag = r.Uvarint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	if r.Remaining() > 0 {
+		opts.NoRollup = r.Uint8() != 0
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	groups, info, err := s.GroupByOpts(ctx, q, dim, level, opts)
 	if err != nil {
 		return nil, err
 	}
-	w := wire.NewWriter(16 + len(groups)*40)
+	w := wire.NewWriter(48 + len(groups)*40)
 	w.Uvarint(uint64(len(groups)))
 	for _, g := range groups {
 		w.Uvarint(g.Value)
 		g.Agg.Encode(w)
 	}
+	encodeQueryInfo(w, info)
 	return w.Bytes(), nil
 }
 
 // EncodeGroupByRequest builds the payload for server.groupby.
 func EncodeGroupByRequest(q keys.Rect, dim, level int) []byte {
+	return EncodeGroupByRequestOpts(q, dim, level, QueryOptions{})
+}
+
+// EncodeGroupByRequestOpts is EncodeGroupByRequest with query options,
+// appended as optional trailing fields like server.query's.
+func EncodeGroupByRequestOpts(q keys.Rect, dim, level int, opts QueryOptions) []byte {
 	w := wire.NewWriter(64)
 	q.Encode(w)
 	w.Uvarint(uint64(dim))
 	w.Uvarint(uint64(level))
+	if opts.Read != ReadLeader || opts.MaxReplicaLag != 0 || opts.NoRollup {
+		w.Uint8(uint8(opts.Read))
+		w.Uvarint(opts.MaxReplicaLag)
+	}
+	if opts.NoRollup {
+		w.Uint8(1)
+	}
 	return w.Bytes()
 }
 
-// DecodeGroupByResponse parses a server.groupby reply.
-func DecodeGroupByResponse(b []byte) ([]GroupResult, error) {
+// DecodeGroupByResponse parses a server.groupby reply. The QueryInfo is
+// zero-valued for replies from servers predating it.
+func DecodeGroupByResponse(b []byte) ([]GroupResult, QueryInfo, error) {
 	r := wire.NewReader(b)
 	n := r.Uvarint()
 	if r.Err() != nil {
-		return nil, r.Err()
+		return nil, QueryInfo{}, r.Err()
 	}
 	out := make([]GroupResult, 0, n)
 	for i := uint64(0); i < n; i++ {
 		v := r.Uvarint()
 		agg, err := core.DecodeAggregate(r)
 		if err != nil {
-			return nil, err
+			return nil, QueryInfo{}, err
 		}
 		out = append(out, GroupResult{Value: v, Agg: agg})
 	}
-	return out, nil
+	var info QueryInfo
+	if r.Err() == nil && r.Remaining() > 0 {
+		info = decodeQueryInfo(r)
+	}
+	return out, info, r.Err()
 }
 
 func (s *Server) handleStats(_ context.Context, p []byte) ([]byte, error) {
@@ -1337,27 +1620,6 @@ func DecodeQueryResponse(b []byte) (core.Aggregate, QueryInfo, error) {
 	if err != nil {
 		return agg, QueryInfo{}, err
 	}
-	info := QueryInfo{
-		ShardsConsidered: int(r.Uvarint()),
-		ShardsSearched:   int(r.Uvarint()),
-		WorkersContacted: int(r.Uvarint()),
-	}
-	if n := r.Uvarint(); n > 0 && r.Err() == nil {
-		info.MissingShards = make([]image.ShardID, 0, n)
-		for i := uint64(0); i < n; i++ {
-			info.MissingShards = append(info.MissingShards, image.ShardID(r.Uvarint()))
-		}
-	}
-	// Replica fields are absent from pre-replication replies; tolerate
-	// their absence so a new client can read an old server.
-	if r.Err() == nil && r.Remaining() > 0 {
-		if n := r.Uvarint(); n > 0 && r.Err() == nil {
-			info.ReplicaShards = make([]image.ShardID, 0, n)
-			for i := uint64(0); i < n; i++ {
-				info.ReplicaShards = append(info.ReplicaShards, image.ShardID(r.Uvarint()))
-			}
-		}
-		info.MaxReplicaLag = r.Uvarint()
-	}
+	info := decodeQueryInfo(r)
 	return agg, info, r.Err()
 }

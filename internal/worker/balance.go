@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/image"
 	"repro/internal/keys"
+	"repro/internal/rollup"
 	"repro/internal/wire"
 )
 
@@ -135,13 +136,18 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 	st.mu.Unlock()
 
 	fail := func(err error) (*SplitResult, error) {
-		// Roll back: drain the queue into the store and remove it.
+		// Roll back: drain the queue into the store (and the rollup
+		// tables, which mirror it) and remove it.
 		st.mu.Lock()
 		q := st.queue
 		st.queue = nil
 		st.mu.Unlock()
 		if q != nil {
-			q.Items(func(it core.Item) bool { _ = st.store.Insert(it); return true })
+			q.Items(func(it core.Item) bool {
+				_ = st.store.Insert(it)
+				st.roll.AddItem(it.Coords, it.Measure)
+				return true
+			})
 		}
 		return nil, err
 	}
@@ -176,6 +182,11 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 		return true
 	})
 	st.store = left
+	// Rollup tables are not subtractable (Min/Max), so both halves
+	// rebuild theirs from the new stores while the write lock excludes
+	// readers and writers.
+	st.roll = rollup.Rebuild(w.cfg.Schema, w.cfg.Rollups, left.Items)
+	newState.roll = rollup.Rebuild(w.cfg.Schema, w.cfg.Rollups, right.Items)
 
 	// Make the flip durable while the write lock still excludes inserts:
 	// adopt the right half under its new identity, then seal the original
@@ -186,15 +197,17 @@ func (w *Worker) SplitShard(id, newID image.ShardID) (*SplitResult, error) {
 	// publishes the new mapping after this call returns.
 	var leftBlob []byte
 	if w.dur != nil {
-		durErr := w.dur.AdoptShard(uint64(newID), right.Serialize())
+		durErr := w.dur.AdoptShard(uint64(newID),
+			append(right.Serialize(), newState.roll.EncodeTrailer()...))
 		if durErr == nil {
-			leftBlob = left.Serialize()
+			leftBlob = append(left.Serialize(), st.roll.EncodeTrailer()...)
 			durErr = w.dur.RotateWAL(uint64(id))
 		}
 		if durErr != nil {
 			// Durable state refused the split: merge the halves back and
 			// report failure so the mapping table never flips.
 			right.Items(func(it core.Item) bool { _ = left.Insert(it); return true })
+			st.roll = rollup.Rebuild(w.cfg.Schema, w.cfg.Rollups, left.Items)
 			st.mu.Unlock()
 			return nil, durErr
 		}
@@ -269,6 +282,7 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 	w.drainLocked(st)
 	teardownReplLocked(st)
 	st.queue = queue
+	roll := st.roll
 	st.mu.Unlock()
 
 	rollback := func(err error) (uint64, error) {
@@ -277,7 +291,11 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 		st.queue = nil
 		st.mu.Unlock()
 		if q != nil {
-			q.Items(func(it core.Item) bool { _ = store.Insert(it); return true })
+			q.Items(func(it core.Item) bool {
+				_ = store.Insert(it)
+				roll.AddItem(it.Coords, it.Measure)
+				return true
+			})
 		}
 		return 0, err
 	}
@@ -287,8 +305,10 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 		return rollback(err)
 	}
 
-	// Transfer the serialized shard (SerializeShard/DeserializeShard).
-	blob := store.Serialize()
+	// Transfer the serialized shard with its rollup trailer, so the
+	// destination installs the tables without rescanning the items
+	// (inserts are diverted to the queue, so neither moves underneath).
+	blob := append(store.Serialize(), roll.EncodeTrailer()...)
 	req := wire.NewWriter(len(blob) + 16)
 	req.Uvarint(uint64(id))
 	req.Bytes1(blob)
@@ -316,6 +336,8 @@ func (w *Worker) SendShard(id image.ShardID, destAddr string) (uint64, error) {
 			}
 			st.store = nil
 			st.queue = nil
+			st.roll = nil
+			st.rollCells.Set(0)
 			st.forward = destAddr
 			st.mu.Unlock()
 			// The destination has acknowledged the full copy (snapshot +
@@ -359,12 +381,18 @@ func (w *Worker) handleReceiveShard(_ context.Context, p []byte) ([]byte, error)
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	store, err := core.DeserializeStore(blob)
+	store, trailer, err := core.DeserializeStoreTrailer(blob)
 	if err != nil {
 		return nil, err
 	}
 	if store.Config().Schema.Fingerprint() != w.cfg.Schema.Fingerprint() {
 		return nil, fmt.Errorf("worker %s: received shard with foreign schema", w.id)
+	}
+	// The sender's rollup trailer rides inside the blob; senders with a
+	// different (or no) rollup configuration fall back to a rebuild.
+	roll, rerr := rollup.DecodeTrailer(trailer, w.cfg.Schema, w.cfg.Rollups)
+	if rerr != nil || roll == nil {
+		roll = rollup.Rebuild(w.cfg.Schema, w.cfg.Rollups, store.Items)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -382,6 +410,7 @@ func (w *Worker) handleReceiveShard(_ context.Context, p []byte) ([]byte, error)
 		}
 		st.mu.Lock()
 		st.store = store
+		st.roll = roll
 		st.forward = ""
 		st.mu.Unlock()
 		return nil, nil
@@ -391,6 +420,7 @@ func (w *Worker) handleReceiveShard(_ context.Context, p []byte) ([]byte, error)
 	}
 	st := w.newShardState(id)
 	st.store = store
+	st.roll = roll
 	w.shards[id] = st
 	return nil, nil
 }

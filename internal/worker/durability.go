@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/image"
+	"repro/internal/rollup"
 )
 
 // This file attaches the durable subsystem to the worker. The ordering
@@ -33,9 +34,26 @@ const checkpointPoll = 500 * time.Millisecond
 // Call after New and before Listen (no concurrent operations). The
 // returned report says what was replayed.
 func (w *Worker) AttachDurability(d *durable.Log) (*durable.Recovery, error) {
-	rec, err := d.Recover(w.cfg.Schema.NumDims(), func() (core.Store, error) {
+	// Rollup tables recover alongside the stores: the winning snapshot's
+	// trailer restores the cells as of that snapshot, and replayed WAL
+	// batches fold in incrementally — no post-recovery rescan of the raw
+	// items unless a shard has no usable trailer (pre-rollup snapshot,
+	// or the configured definitions changed).
+	sets := make(map[uint64]*rollup.Set)
+	hooks := durable.RecoverHooks{
+		SnapshotTrailer: func(shard uint64, trailer []byte) {
+			set, err := rollup.DecodeTrailer(trailer, w.cfg.Schema, w.cfg.Rollups)
+			if err == nil && set != nil {
+				sets[shard] = set
+			}
+		},
+		Replayed: func(shard uint64, items []core.Item) {
+			sets[shard].Add(items)
+		},
+	}
+	rec, err := d.RecoverWithHooks(w.cfg.Schema.NumDims(), func() (core.Store, error) {
 		return core.NewStore(w.cfg.StoreConfig())
-	})
+	}, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +66,11 @@ func (w *Worker) AttachDurability(d *durable.Log) (*durable.Recovery, error) {
 		}
 		st := w.newShardState(sid)
 		st.store = store
+		if set := sets[id]; set != nil {
+			st.roll = set
+		} else if len(w.cfg.Rollups) > 0 {
+			st.roll = rollup.Rebuild(w.cfg.Schema, w.cfg.Rollups, store.Items)
+		}
 		w.shards[sid] = st
 	}
 	w.dur = d
@@ -93,7 +116,9 @@ func (w *Worker) CheckpointShard(id image.ShardID) error {
 		return nil
 	}
 	w.drainLocked(st)
-	blob := st.store.Serialize()
+	// Composite blob: the store image plus the rollup trailer, so
+	// recovery restores the tables without rescanning the raw items.
+	blob := append(st.store.Serialize(), st.roll.EncodeTrailer()...)
 	err := w.dur.RotateWAL(uint64(id))
 	st.mu.Unlock()
 	if err != nil {

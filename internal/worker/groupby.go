@@ -1,0 +1,240 @@
+package worker
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/image"
+	"repro/internal/keys"
+	"repro/internal/wire"
+)
+
+// This file implements worker.groupby: one RPC folds per-value
+// aggregates for a (dimension, level) pair across a worker's shards,
+// instead of the server issuing one worker.query per level value. A
+// shard whose rollup table retains the grouped dimension at or below
+// the requested level answers at cell granularity; everything else
+// falls back to per-value tree queries. Either way the shard's
+// insertion buffer and split/migration queue fold in item by item under
+// the same read-lock hold the plain query path uses, so group-by sees
+// exactly the acknowledged items.
+
+// EncodeGroupByRequest builds the payload for worker.groupby. defIdx is
+// the cluster rollup definition shards may answer from (-1 forces the
+// tree).
+func EncodeGroupByRequest(base keys.Rect, dim, level int, shards []image.ShardID, defIdx int) []byte {
+	w := wire.NewWriter(64)
+	base.Encode(w)
+	w.Uvarint(uint64(dim))
+	w.Uvarint(uint64(level))
+	w.Uvarint(uint64(len(shards)))
+	for _, id := range shards {
+		w.Uvarint(uint64(id))
+	}
+	w.Uvarint(uint64(defIdx + 1)) // 0 = none
+	return w.Bytes()
+}
+
+// GroupByReply is the decoded result of worker.groupby. Groups is
+// sparse: values with no items on the answering shards are absent.
+type GroupByReply struct {
+	Groups         map[uint64]core.Aggregate
+	ShardsSearched uint32
+	RollupShards   uint32
+	RollupCells    uint64
+}
+
+// DecodeGroupByReply parses a worker.groupby response.
+func DecodeGroupByReply(b []byte) (GroupByReply, error) {
+	r := wire.NewReader(b)
+	rep := GroupByReply{
+		ShardsSearched: uint32(r.Uvarint()),
+		RollupShards:   uint32(r.Uvarint()),
+		RollupCells:    r.Uvarint(),
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return GroupByReply{}, r.Err()
+	}
+	if n > uint64(r.Remaining()) {
+		return GroupByReply{}, errors.New("worker: group-by reply group count exceeds payload")
+	}
+	rep.Groups = make(map[uint64]core.Aggregate, n)
+	for i := uint64(0); i < n; i++ {
+		v := r.Uvarint()
+		agg, err := core.DecodeAggregate(r)
+		if err != nil {
+			return GroupByReply{}, err
+		}
+		rep.Groups[v] = agg
+	}
+	return rep, r.Err()
+}
+
+func encodeGroupByReply(rep GroupByReply) []byte {
+	w := wire.NewWriter(48 + len(rep.Groups)*40)
+	w.Uvarint(uint64(rep.ShardsSearched))
+	w.Uvarint(uint64(rep.RollupShards))
+	w.Uvarint(rep.RollupCells)
+	w.Uvarint(uint64(len(rep.Groups)))
+	for v, agg := range rep.Groups {
+		w.Uvarint(v)
+		agg.Encode(w)
+	}
+	return w.Bytes()
+}
+
+func (w *Worker) handleGroupBy(ctx context.Context, p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	base, err := keys.DecodeRect(r)
+	if err != nil {
+		return nil, err
+	}
+	dim := int(r.Uvarint())
+	level := int(r.Uvarint())
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	ids := make([]image.ShardID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ids = append(ids, image.ShardID(r.Uvarint()))
+	}
+	defIdx := int(r.Uvarint()) - 1
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	w.traceAdd(ctx, "worker.groupby", "")
+	rep, err := w.GroupByShards(ctx, base, dim, level, ids, defIdx)
+	if err != nil {
+		return nil, err
+	}
+	return encodeGroupByReply(rep), nil
+}
+
+// GroupByShards folds one aggregate per value of the dimension's level
+// within base, across the given shards. Shards that migrated away are
+// chased through their forward address, like QueryShards.
+func (w *Worker) GroupByShards(ctx context.Context, base keys.Rect, dim, level int, ids []image.ShardID, defIdx int) (GroupByReply, error) {
+	if dim < 0 || dim >= w.cfg.Schema.NumDims() {
+		return GroupByReply{}, errors.New("worker: group-by dimension out of range")
+	}
+	d := w.cfg.Schema.Dim(dim)
+	if level < 0 || level >= d.Depth() {
+		return GroupByReply{}, errors.New("worker: group-by level out of range")
+	}
+	groupSpan := d.LeavesUnder(level + 1)
+	rep := GroupByReply{Groups: make(map[uint64]core.Aggregate)}
+	for _, id := range ids {
+		if err := w.groupByOneShard(ctx, id, base, dim, level, groupSpan, defIdx, &rep); err != nil {
+			return GroupByReply{}, err
+		}
+	}
+	return rep, nil
+}
+
+// groupByOneShard folds one shard's items into rep.Groups.
+func (w *Worker) groupByOneShard(ctx context.Context, id image.ShardID, base keys.Rect, dim, level int, groupSpan uint64, defIdx int, rep *GroupByReply) error {
+	st := w.shard(id)
+	if st == nil {
+		return nil
+	}
+	defer st.queryLat.Time()()
+	st.mu.RLock()
+	store, queue, forward := st.store, st.queue, st.forward
+	if store == nil && forward != "" {
+		st.mu.RUnlock()
+		peer, err := w.peer(forward)
+		if err != nil {
+			return errors.New(MovedPrefix + forward)
+		}
+		w.forwards.Inc()
+		w.traceAdd(ctx, "worker.groupby.forward", forward)
+		resp, err := peer.RequestCtx(ctx, "worker.groupby",
+			EncodeGroupByRequest(base, dim, level, []image.ShardID{id}, defIdx))
+		if err != nil {
+			return forwardErr(err, forward)
+		}
+		sub, err := DecodeGroupByReply(resp)
+		if err != nil {
+			return err
+		}
+		for v, agg := range sub.Groups {
+			mergeGroup(rep.Groups, v, agg)
+		}
+		rep.ShardsSearched += sub.ShardsSearched
+		rep.RollupShards += sub.RollupShards
+		rep.RollupCells += sub.RollupCells
+		return nil
+	}
+	if store == nil {
+		st.mu.RUnlock()
+		return nil
+	}
+	// Same read-lock discipline as queryOneShard: the store, queue, and
+	// insertion buffer cannot change containers underneath us.
+	defer st.mu.RUnlock()
+	if t := st.roll.Table(defIdx); t != nil && defIdx >= 0 &&
+		t.Def().Covers(w.cfg.Schema, base) && t.Def().Depths[dim] >= level+1 {
+		cells := t.GroupBy(base, dim, groupSpan, rep.Groups)
+		rep.RollupShards++
+		rep.RollupCells += uint64(cells)
+		w.rollupHits.Inc()
+	} else {
+		// Tree path: one clipped query per level value inside base.
+		baseIv := base.Ivs[dim]
+		first := baseIv.Lo / groupSpan
+		last := baseIv.Hi / groupSpan
+		clip := keys.Rect{Ivs: append([]hierarchy.Interval(nil), base.Ivs...)}
+		for v := first; v <= last; v++ {
+			iv := hierarchy.Interval{Lo: v * groupSpan, Hi: v*groupSpan + groupSpan - 1}
+			if iv.Lo < baseIv.Lo {
+				iv.Lo = baseIv.Lo
+			}
+			if iv.Hi > baseIv.Hi {
+				iv.Hi = baseIv.Hi
+			}
+			clip.Ivs[dim] = iv
+			if agg := store.Query(clip); agg.Count > 0 {
+				mergeGroup(rep.Groups, v, agg)
+			}
+		}
+	}
+	// Queue and buffer items fold in one by one; they are not in the
+	// rollup tables (tables mirror the store only).
+	fold := func(it core.Item) {
+		if !base.ContainsPoint(it.Coords) {
+			return
+		}
+		v := it.Coords[dim] / groupSpan
+		agg, ok := rep.Groups[v]
+		if !ok {
+			agg = core.NewAggregate()
+		}
+		agg.AddItem(it.Measure)
+		rep.Groups[v] = agg
+	}
+	if queue != nil {
+		queue.Items(func(it core.Item) bool {
+			fold(it)
+			return true
+		})
+	}
+	if st.buf != nil {
+		st.buf.scan(base, fold)
+	}
+	rep.ShardsSearched++
+	return nil
+}
+
+// mergeGroup folds one value's aggregate into the group map.
+func mergeGroup(out map[uint64]core.Aggregate, v uint64, a core.Aggregate) {
+	cur, ok := out[v]
+	if !ok {
+		cur = core.NewAggregate()
+	}
+	cur.Merge(a)
+	out[v] = cur
+}

@@ -144,6 +144,18 @@ func (b *ingestBuf) query(q keys.Rect) core.Aggregate {
 	return agg
 }
 
+// scan visits the buffered items inside q. The caller holds the shard
+// read lock, so no drain can move items concurrently.
+func (b *ingestBuf) scan(q keys.Rect, fn func(core.Item)) {
+	b.mu.Lock()
+	for i := range b.items {
+		if q.ContainsPoint(b.items[i].Coords) {
+			fn(b.items[i])
+		}
+	}
+	b.mu.Unlock()
+}
+
 // insertBuffered tries the pipeline path: validate, append to the
 // buffer, log to the WAL, ack. Returns handled=false when the shard is
 // in a state the buffer must not absorb (queue active, forwarded, or
@@ -235,6 +247,12 @@ func (w *Worker) drainBuffer(st *shardState) {
 			// Items were validated at ack time; BulkLoad re-validates
 			// and cannot fail on them.
 			_ = target.BulkLoad(batch)
+			if st.queue == nil {
+				// Rollup tables mirror the store; queued items reach
+				// them when the queue drains back or the split/
+				// migration rebuild runs.
+				st.roll.Add(batch)
+			}
 		}
 		st.mu.Unlock()
 		w.ingestItems.Add(-float64(len(batch)))
@@ -262,6 +280,9 @@ func (w *Worker) drainLocked(st *shardState) {
 		}
 		if target != nil {
 			_ = target.BulkLoad(batch)
+			if st.queue == nil {
+				st.roll.Add(batch)
+			}
 		}
 		w.ingestItems.Add(-float64(len(batch)))
 	}

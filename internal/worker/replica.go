@@ -11,6 +11,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/keys"
 	"repro/internal/metrics"
+	"repro/internal/rollup"
 	"repro/internal/wire"
 )
 
@@ -225,8 +226,12 @@ func (w *Worker) Promote(id image.ShardID) (uint64, error) {
 	}
 	rs.mu.Lock() // exclude in-flight applies while the store changes hands
 	store := rs.store
+	// Standbys never maintain rollup tables; build them from the
+	// promoted store so served queries can take the rollup path.
+	roll := rollup.Rebuild(w.cfg.Schema, w.cfg.Rollups, store.Items)
 	if w.dur != nil {
-		if err := w.dur.AdoptShard(uint64(id), store.Serialize()); err != nil {
+		if err := w.dur.AdoptShard(uint64(id),
+			append(store.Serialize(), roll.EncodeTrailer()...)); err != nil {
 			rs.mu.Unlock()
 			w.replMu.Unlock()
 			return 0, err
@@ -240,6 +245,7 @@ func (w *Worker) Promote(id image.ShardID) (uint64, error) {
 		occupied := st.store != nil || st.queue != nil
 		if !occupied {
 			st.store = store
+			st.roll = roll
 			st.forward = ""
 		}
 		st.mu.Unlock()
@@ -252,6 +258,7 @@ func (w *Worker) Promote(id image.ShardID) (uint64, error) {
 	} else {
 		st := w.newShardState(id)
 		st.store = store
+		st.roll = roll
 		w.shards[id] = st
 	}
 	w.mu.Unlock()
@@ -281,6 +288,8 @@ func (w *Worker) Demote(id image.ShardID, destAddr string) error {
 	w.drainLocked(st)
 	teardownReplLocked(st)
 	st.store = nil
+	st.roll = nil
+	st.rollCells.Set(0)
 	st.forward = destAddr
 	st.mu.Unlock()
 	if w.dur != nil {
@@ -618,11 +627,11 @@ func (w *Worker) QueryReplicas(ctx context.Context, q keys.Rect, ids []image.Sha
 		// leader copy — serve it at lag zero instead of bouncing the
 		// caller back to a dead old primary.
 		if st := w.shard(id); st != nil {
-			part, okShard, err := w.queryShard(ctx, id, q, 1)
-			if err != nil || !okShard {
+			ans, err := w.queryOneShard(ctx, id, q, 1, -1)
+			if err != nil || !ans.ok {
 				continue
 			}
-			rep.Agg.Merge(part)
+			rep.Agg.Merge(ans.agg)
 			rep.Served = append(rep.Served, id)
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/metrics"
 	"repro/internal/netmsg"
+	"repro/internal/rollup"
 	"repro/internal/wire"
 )
 
@@ -41,11 +42,19 @@ type shardState struct {
 
 	repl *replShip // follower links when this worker is the shard's primary
 
+	// roll holds the shard's materialized rollup tables (nil when none
+	// are configured). The tables mirror the store exactly: every batch
+	// applied to the store is folded into them under the same shard-lock
+	// hold, and rollup reads merge queue + buffer on top, so a rollup
+	// answer equals a raw scan under any read-lock observation.
+	roll *rollup.Set
+
 	// Per-shard metric handles, resolved once at creation so the hot
 	// insert/query paths skip label formatting and map lookups.
 	insertLat *metrics.Histogram
 	queryLat  *metrics.Histogram
 	items     *metrics.Gauge
+	rollCells *metrics.Gauge
 }
 
 // Options tunes a worker's intra-node parallelism. The zero value
@@ -134,6 +143,10 @@ type Worker struct {
 	shipBytes  *metrics.Counter  // replica_ship_bytes_total
 	shipFails  *metrics.Counter  // replica_ship_failures_total
 	replicaLag *metrics.GaugeVec // replica_lag_records{shard}
+
+	// rollup metrics
+	rollupHits  *metrics.Counter  // rollup_hits_total
+	rollupCells *metrics.GaugeVec // rollup_cells{shard}
 }
 
 // MovedPrefix is the error prefix returned when a shard has migrated
@@ -186,6 +199,8 @@ func NewWithOptions(id string, cfg *image.ClusterConfig, opts Options) *Worker {
 		shipBytes:     reg.Counter("replica_ship_bytes_total").With(),
 		shipFails:     reg.Counter("replica_ship_failures_total").With(),
 		replicaLag:    reg.Gauge("replica_lag_records", "shard"),
+		rollupHits:    reg.Counter("rollup_hits_total").With(),
+		rollupCells:   reg.Gauge("rollup_cells", "shard"),
 	}
 	if opts.IngestWorkers > 0 {
 		w.ingestCh = make(chan *shardState, 256)
@@ -207,6 +222,8 @@ func (w *Worker) newShardState(id image.ShardID) *shardState {
 		insertLat: w.insertLat.With(lbl),
 		queryLat:  w.queryLat.With(lbl),
 		items:     w.shardItems.With(lbl),
+		rollCells: w.rollupCells.With(lbl),
+		roll:      rollup.NewSet(w.cfg.Schema, w.cfg.Rollups),
 	}
 	if w.opts.IngestWorkers > 0 {
 		st.buf = newIngestBuf(w.opts.MaxPendingItems)
@@ -254,6 +271,7 @@ func (w *Worker) Listen(addr string) (string, error) {
 	srv.Handle("worker.insert", w.handleInsert)
 	srv.Handle("worker.bulkload", w.handleBulkLoad)
 	srv.Handle("worker.query", w.handleQuery)
+	srv.Handle("worker.groupby", w.handleGroupBy)
 	srv.Handle("worker.stats", w.handleStats)
 	srv.Handle("worker.shardcounts", w.handleShardCounts)
 	srv.Handle("worker.opstats", w.handleOpStats)
@@ -315,6 +333,9 @@ func (w *Worker) Meta() *image.WorkerMeta {
 			m.Items += n
 			m.MemBytes += st.store.MemoryBytes()
 			st.items.Set(float64(n))
+			if st.roll != nil {
+				st.rollCells.Set(float64(st.roll.Cells()))
+			}
 		}
 		st.mu.RUnlock()
 	}
@@ -534,11 +555,22 @@ func EncodeInsertRequest(shard image.ShardID, dims int, items []core.Item) []byt
 
 // EncodeQueryRequest builds the payload for worker.query.
 func EncodeQueryRequest(q keys.Rect, shards []image.ShardID) []byte {
+	return EncodeQueryRequestRollup(q, shards, -1)
+}
+
+// EncodeQueryRequestRollup is EncodeQueryRequest carrying the cluster
+// rollup definition the worker may answer from (-1 forces the tree).
+// The definition index rides as an optional trailing field, so
+// rollup-unaware workers still parse the request.
+func EncodeQueryRequestRollup(q keys.Rect, shards []image.ShardID, defIdx int) []byte {
 	w := wire.NewWriter(64)
 	q.Encode(w)
 	w.Uvarint(uint64(len(shards)))
 	for _, id := range shards {
 		w.Uvarint(uint64(id))
+	}
+	if defIdx >= 0 {
+		w.Uvarint(uint64(defIdx) + 1)
 	}
 	return w.Bytes()
 }
@@ -547,6 +579,11 @@ func EncodeQueryRequest(q keys.Rect, shards []image.ShardID) []byte {
 type QueryReply struct {
 	Agg            core.Aggregate
 	ShardsSearched uint32
+	// RollupShards counts the searched shards answered from a
+	// materialized rollup table; RollupCells the cells those answers
+	// merged. Zero when the tree answered everything.
+	RollupShards uint32
+	RollupCells  uint64
 }
 
 // DecodeQueryReply parses a worker.query response.
@@ -556,7 +593,13 @@ func DecodeQueryReply(b []byte) (QueryReply, error) {
 	if err != nil {
 		return QueryReply{}, err
 	}
-	return QueryReply{Agg: agg, ShardsSearched: uint32(r.Uvarint())}, r.Err()
+	rep := QueryReply{Agg: agg, ShardsSearched: uint32(r.Uvarint())}
+	// Rollup fields are absent from pre-rollup replies.
+	if r.Err() == nil && r.Remaining() > 0 {
+		rep.RollupShards = uint32(r.Uvarint())
+		rep.RollupCells = r.Uvarint()
+	}
+	return rep, r.Err()
 }
 
 // --- RPC handlers ----------------------------------------------------------
@@ -620,6 +663,7 @@ func (w *Worker) Insert(ctx context.Context, id image.ShardID, items []core.Item
 		if err := s.BulkLoad(items); err != nil {
 			return err
 		}
+		st.roll.Add(items)
 		if err := w.appendInsert(id, items); err != nil {
 			return err
 		}
@@ -671,6 +715,7 @@ func (w *Worker) handleBulkLoad(ctx context.Context, p []byte) ([]byte, error) {
 	if err := st.store.BulkLoad(items); err != nil {
 		return nil, err
 	}
+	st.roll.Add(items)
 	if err := w.appendInsert(id, items); err != nil {
 		return nil, err
 	}
@@ -695,14 +740,23 @@ func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
+	defIdx := -1
+	if r.Remaining() > 0 {
+		defIdx = int(r.Uvarint()) - 1
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
 	w.traceAdd(ctx, "worker.query", "")
-	agg, searched, err := w.QueryShards(ctx, q, ids)
+	rep, err := w.queryShards(ctx, q, ids, defIdx)
 	if err != nil {
 		return nil, err
 	}
-	out := wire.NewWriter(40)
-	agg.Encode(out)
-	out.Uvarint(uint64(searched))
+	out := wire.NewWriter(48)
+	rep.Agg.Encode(out)
+	out.Uvarint(uint64(rep.ShardsSearched))
+	out.Uvarint(uint64(rep.RollupShards))
+	out.Uvarint(rep.RollupCells)
 	return out.Bytes(), nil
 }
 
@@ -713,27 +767,31 @@ func (w *Worker) handleQuery(ctx context.Context, p []byte) ([]byte, error) {
 // (core.ParallelQuerier). Returns the merged aggregate and how many
 // shards contributed.
 func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.ShardID) (core.Aggregate, uint32, error) {
+	rep, err := w.queryShards(ctx, q, ids, -1)
+	return rep.Agg, rep.ShardsSearched, err
+}
+
+// queryShards is QueryShards with an optional rollup definition index
+// each shard may answer from (-1 forces the tree), reporting how many
+// shards took the rollup path.
+func (w *Worker) queryShards(ctx context.Context, q keys.Rect, ids []image.ShardID, defIdx int) (QueryReply, error) {
 	par := w.opts.QueryParallelism
 	if len(ids) <= 1 || par <= 1 {
 		// Sequential path; a lone shard still parallelizes inside its
 		// tree when it is the only work on the request.
-		agg := core.NewAggregate()
-		searched := uint32(0)
+		rep := QueryReply{Agg: core.NewAggregate()}
 		treePar := 1
 		if len(ids) == 1 {
 			treePar = par
 		}
 		for _, id := range ids {
-			part, ok, err := w.queryShard(ctx, id, q, treePar)
+			part, err := w.queryOneShard(ctx, id, q, treePar, defIdx)
 			if err != nil {
-				return core.NewAggregate(), 0, err
+				return QueryReply{Agg: core.NewAggregate()}, err
 			}
-			if ok {
-				agg.Merge(part)
-				searched++
-			}
+			mergeShardAnswer(&rep, part)
 		}
-		return agg, searched, nil
+		return rep, nil
 	}
 
 	if par > len(ids) {
@@ -743,8 +801,7 @@ func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.Shard
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type partial struct {
-		agg core.Aggregate
-		ok  bool
+		ans shardAnswer
 		err error
 	}
 	parts := make([]partial, len(ids))
@@ -759,8 +816,8 @@ func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.Shard
 					parts[i].err = ctx.Err()
 					continue
 				}
-				agg, ok, err := w.queryShard(ctx, ids[i], q, 1)
-				parts[i] = partial{agg: agg, ok: ok, err: err}
+				ans, err := w.queryOneShard(ctx, ids[i], q, 1, defIdx)
+				parts[i] = partial{ans: ans, err: err}
 				if err != nil {
 					cancel() // first error stops the fan-out
 				}
@@ -775,8 +832,7 @@ func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.Shard
 
 	// Merge in shard order so float sums stay deterministic for a given
 	// request; report the first real error (not a cancellation echo).
-	agg := core.NewAggregate()
-	searched := uint32(0)
+	rep := QueryReply{Agg: core.NewAggregate()}
 	var firstErr error
 	for _, p := range parts {
 		if p.err != nil && (firstErr == nil || errors.Is(firstErr, context.Canceled)) {
@@ -784,15 +840,33 @@ func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.Shard
 		}
 	}
 	if firstErr != nil {
-		return core.NewAggregate(), 0, firstErr
+		return QueryReply{Agg: core.NewAggregate()}, firstErr
 	}
 	for _, p := range parts {
-		if p.ok {
-			agg.Merge(p.agg)
-			searched++
-		}
+		mergeShardAnswer(&rep, p.ans)
 	}
-	return agg, searched, nil
+	return rep, nil
+}
+
+// shardAnswer is one shard's contribution to a multi-shard query.
+type shardAnswer struct {
+	agg   core.Aggregate
+	ok    bool // the shard contributed (false for unknown shards)
+	hit   bool // answered from a rollup table instead of the tree
+	cells uint64
+}
+
+// mergeShardAnswer folds one shard's answer into a reply.
+func mergeShardAnswer(rep *QueryReply, ans shardAnswer) {
+	if !ans.ok {
+		return
+	}
+	rep.Agg.Merge(ans.agg)
+	rep.ShardsSearched++
+	if ans.hit {
+		rep.RollupShards++
+		rep.RollupCells += ans.cells
+	}
 }
 
 // QueryShard aggregates one shard (including its insertion queue, so
@@ -802,15 +876,20 @@ func (w *Worker) QueryShards(ctx context.Context, q keys.Rect, ids []image.Shard
 // (false for unknown shards, which can happen transiently when a
 // server's image is ahead of this worker).
 func (w *Worker) QueryShard(ctx context.Context, id image.ShardID, q keys.Rect) (core.Aggregate, bool, error) {
-	return w.queryShard(ctx, id, q, 1)
+	ans, err := w.queryOneShard(ctx, id, q, 1, -1)
+	return ans.agg, ans.ok, err
 }
 
-// queryShard is QueryShard with an explicit tree-level parallelism
-// bound, used by QueryShards when a single shard dominates the request.
-func (w *Worker) queryShard(ctx context.Context, id image.ShardID, q keys.Rect, treePar int) (core.Aggregate, bool, error) {
+// queryOneShard answers one shard with an explicit tree-level
+// parallelism bound and an optional rollup definition index. When the
+// definition's grid covers q and the shard holds its table, the answer
+// is the covering cells merged with the insertion buffer and the
+// split/migration queue — exactly what the tree path reads, at cell
+// granularity instead of item granularity.
+func (w *Worker) queryOneShard(ctx context.Context, id image.ShardID, q keys.Rect, treePar, defIdx int) (shardAnswer, error) {
 	st := w.shard(id)
 	if st == nil {
-		return core.NewAggregate(), false, nil
+		return shardAnswer{agg: core.NewAggregate()}, nil
 	}
 	defer st.queryLat.Time()()
 	st.mu.RLock()
@@ -819,27 +898,34 @@ func (w *Worker) queryShard(ctx context.Context, id image.ShardID, q keys.Rect, 
 		st.mu.RUnlock()
 		peer, err := w.peer(forward)
 		if err != nil {
-			return core.NewAggregate(), false, errors.New(MovedPrefix + forward)
+			return shardAnswer{agg: core.NewAggregate()}, errors.New(MovedPrefix + forward)
 		}
 		w.forwards.Inc()
 		w.traceAdd(ctx, "worker.query.forward", forward)
-		resp, err := peer.RequestCtx(ctx, "worker.query", EncodeQueryRequest(q, []image.ShardID{id}))
+		resp, err := peer.RequestCtx(ctx, "worker.query", EncodeQueryRequestRollup(q, []image.ShardID{id}, defIdx))
 		if err != nil {
-			return core.NewAggregate(), false, forwardErr(err, forward)
+			return shardAnswer{agg: core.NewAggregate()}, forwardErr(err, forward)
 		}
 		rep, err := DecodeQueryReply(resp)
-		return rep.Agg, rep.ShardsSearched > 0, err
+		return shardAnswer{agg: rep.Agg, ok: rep.ShardsSearched > 0,
+			hit: rep.RollupShards > 0, cells: rep.RollupCells}, err
 	}
 	if store == nil {
 		st.mu.RUnlock()
-		return core.NewAggregate(), false, nil
+		return shardAnswer{agg: core.NewAggregate()}, nil
 	}
 	// Hold the read lock so the queue and insertion buffer cannot be
 	// drained-and-destroyed between querying the store and them (no
 	// double or zero count: drain moves happen under the write lock).
 	defer st.mu.RUnlock()
 	var agg core.Aggregate
-	if pq, ok := store.(core.ParallelQuerier); ok && treePar > 1 {
+	hit := false
+	cells := 0
+	if t := st.roll.Table(defIdx); t != nil && defIdx >= 0 && t.Def().Covers(w.cfg.Schema, q) {
+		agg, cells = t.Query(q)
+		hit = true
+		w.rollupHits.Inc()
+	} else if pq, ok := store.(core.ParallelQuerier); ok && treePar > 1 {
 		agg = pq.QueryParallel(q, treePar)
 	} else {
 		agg = store.Query(q)
@@ -850,7 +936,7 @@ func (w *Worker) queryShard(ctx context.Context, id image.ShardID, q keys.Rect, 
 	if st.buf != nil {
 		agg.Merge(st.buf.query(q))
 	}
-	return agg, true, nil
+	return shardAnswer{agg: agg, ok: true, hit: hit, cells: uint64(cells)}, nil
 }
 
 func (w *Worker) handleStats(context.Context, []byte) ([]byte, error) {

@@ -57,15 +57,15 @@ func TestTraceIDPropagation(t *testing.T) {
 		t.Fatalf("WithTrace re-minted: %d, want %d", id2, traceID)
 	}
 
-	agg, info, err := cl.Query(ctx, AllRect(cluster.Schema()))
+	res, err := cl.Query(ctx, AllRect(cluster.Schema()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if agg.Count != uint64(len(items)) {
-		t.Fatalf("count = %d, want %d", agg.Count, len(items))
+	if res.Agg.Count != uint64(len(items)) {
+		t.Fatalf("count = %d, want %d", res.Agg.Count, len(items))
 	}
-	if info.WorkersContacted != 2 {
-		t.Fatalf("workers contacted = %d, want 2", info.WorkersContacted)
+	if res.Info.WorkersContacted != 2 {
+		t.Fatalf("workers contacted = %d, want 2", res.Info.WorkersContacted)
 	}
 
 	if !cluster.servers[0].Trace().Has(traceID) {
@@ -155,7 +155,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster.SyncAll()
-	if _, _, err := cl.QueryNoCtx(AllRect(cluster.Schema())); err != nil {
+	if _, err := cl.QueryNoCtx(AllRect(cluster.Schema())); err != nil {
 		t.Fatal(err)
 	}
 

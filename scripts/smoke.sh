@@ -1,15 +1,17 @@
 #!/bin/sh
 # Smoke test for the multi-process deployment, its observability surface,
-# the durability pipeline and shard replication: builds the binaries,
-# boots coord + 2 durable workers + 1 server + the manager at
-# -replication-factor 2, drives inserts and queries through the CLI
-# client, asserts every process's /metrics endpoint serves Prometheus
-# text with nonzero op counters (including replica_ship_bytes_total,
-# replica_lag_records and server_replica_reads_total from a
-# -read-pref replica query), then SIGKILLs one worker, asserts the
-# manager promotes its shards' followers (manager_promotions_total),
-# restarts it over the same data directory and asserts it replayed its
-# WAL (durable_recovery_replayed_records > 0).
+# the durability pipeline, shard replication and materialized rollups:
+# builds the binaries, boots coord (with -rollup definitions) + 2 durable
+# workers + 1 server + the manager at -replication-factor 2, drives
+# inserts and queries through the CLI client, asserts every process's
+# /metrics endpoint serves Prometheus text with nonzero op counters
+# (including replica_ship_bytes_total, replica_lag_records and
+# server_replica_reads_total from a -read-pref replica query, and
+# rollup_hits_total / rollup_cells from a -group-by query answered from
+# rollup cells), then SIGKILLs one worker, asserts the manager promotes
+# its shards' followers (manager_promotions_total), restarts it over the
+# same data directory and asserts it replayed its WAL
+# (durable_recovery_replayed_records > 0).
 #
 # Every component listens on 127.0.0.1:0 and the script reads the bound
 # address back from its log line, so concurrent runs (CI, a developer's
@@ -76,7 +78,7 @@ obs_addr() {
 }
 
 echo "smoke: booting 1-server/2-worker cluster"
-spawn coord volap-coord -listen 127.0.0.1:0
+spawn coord volap-coord -listen 127.0.0.1:0 -rollup all -rollup Store:1
 COORD=$(wait_log coord 's/^volap-coord: serving global system image on //p') ||
 	fail "coord never reported its address"
 spawn w0 volap-worker -coord "$COORD" -id w0 -listen 127.0.0.1:0 -shards 4 -metrics-addr 127.0.0.1:0 \
@@ -127,6 +129,25 @@ check_metrics "$SRV_OBS" server_routes_total
 check_metrics "$W0_OBS" worker_insert_seconds_count
 check_metrics "$W1_OBS" worker_insert_seconds_count
 check_metrics "$SRV_OBS" netmsg_request_seconds_count
+
+echo "smoke: grouped query served from materialized rollups"
+"$BIN/volap" query -coord "$COORD" -group-by Store:0 >"$LOG/query-groupby.log" 2>&1 ||
+	fail "group-by query stream"
+grep -q 'source=rollup' "$LOG/query-groupby.log" ||
+	fail "group-by query not answered from rollups: $(head -n 1 "$LOG/query-groupby.log")"
+# The ingest pipeline drains asynchronously; re-issue the grouped query
+# until both workers report rollup activity on /metrics.
+i=0
+while :; do
+	hits=$(( $(metrics_value "$W0_OBS" rollup_hits_total) + $(metrics_value "$W1_OBS" rollup_hits_total) ))
+	cells=$(( $(metrics_value "$W0_OBS" rollup_cells) + $(metrics_value "$W1_OBS" rollup_cells) ))
+	[ "$hits" -gt 0 ] && [ "$cells" -gt 0 ] && break
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && fail "rollup metrics stayed 0 (rollup_hits_total=$hits rollup_cells=$cells)"
+	"$BIN/volap" query -coord "$COORD" -group-by Store:0 >>"$LOG/query-groupby.log" 2>&1 || fail "group-by retry"
+	sleep 0.2
+done
+echo "smoke: rollup_hits_total = $hits, rollup_cells = $cells"
 
 echo "smoke: waiting for the manager to establish RF=2 replica sets"
 i=0

@@ -18,7 +18,7 @@
 //	defer cluster.Stop()
 //	client, _ := cluster.Client()
 //	_ = client.InsertNoCtx(volap.Item{Coords: []uint64{...}, Measure: 9.99})
-//	agg, _, _ := client.QueryNoCtx(volap.AllRect(cluster.Schema()))
+//	res, _ := client.QueryNoCtx(volap.AllRect(cluster.Schema()))
 //
 // Every client operation also has a context-first form (Insert, Query,
 // ...) that supports cancellation and deadlines; the NoCtx variants are
@@ -44,6 +44,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/metrics"
 	"repro/internal/netmsg"
+	"repro/internal/rollup"
 	"repro/internal/server"
 	"repro/internal/tpcds"
 	"repro/internal/worker"
@@ -93,6 +94,9 @@ type (
 	ReadPreference = server.ReadPreference
 	// QueryOptions tunes one query's read path (see Client.QueryWith).
 	QueryOptions = server.QueryOptions
+	// RollupDef selects a materialized rollup: one retained hierarchy
+	// depth per dimension (0 = aggregated away). See Options.Rollups.
+	RollupDef = rollup.Def
 	// OpLatency summarizes one operation's latency distribution.
 	OpLatency = worker.OpLatency
 	// Registry collects named counters, gauges and histograms and exports
@@ -144,6 +148,22 @@ const (
 // WAL records, a ReadPreferReplica query tolerates unless it sets its
 // own.
 const DefaultMaxReplicaLag = server.DefaultMaxReplicaLag
+
+// Answer sources reported by QueryInfo.Source(): every searched shard
+// answered from a materialized rollup table, none did, or some mix.
+const (
+	SourceTree   = server.SourceTree
+	SourceRollup = server.SourceRollup
+	SourceMixed  = server.SourceMixed
+)
+
+// ParseRollupDef parses a rollup specification against a schema:
+// "dim:depth" pairs separated by commas, dimensions by name or index,
+// omitted dimensions aggregated away ("all" = everything aggregated to
+// one cell). Example: "time:2,location:1".
+func ParseRollupDef(s *Schema, spec string) (RollupDef, error) {
+	return rollup.ParseDef(s, spec)
+}
 
 // Fault actions and kinds, re-exported for rule construction.
 const (
@@ -300,6 +320,15 @@ type Options struct {
 	// when Durability is not off.
 	DataDir string
 
+	// Rollups lists materialized rollup cubes every worker maintains per
+	// shard: for each definition a table keyed by the retained hierarchy
+	// depths, updated incrementally as drains apply batches. Servers
+	// route covering aggregate and group-by queries to the cheapest
+	// table and fall back to the trees otherwise (QueryInfo.Source
+	// reports which path answered). Order matters — workers and servers
+	// refer to definitions by index.
+	Rollups []RollupDef
+
 	// ReplicationFactor is the total number of copies of each shard,
 	// primary included (default 1 = no replication). With RF >= 2 every
 	// primary ships its WAL records to RF-1 follower workers before
@@ -399,6 +428,11 @@ func (o *Options) defaults() error {
 	if o.ReplicationFactor > 1 && o.Durability == DurabilityOff {
 		return errors.New("volap: Options.ReplicationFactor > 1 requires Durability (replication ships WAL records)")
 	}
+	for i, def := range o.Rollups {
+		if err := def.Validate(o.Schema); err != nil {
+			return fmt.Errorf("volap: Options.Rollups[%d]: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -448,6 +482,7 @@ func Start(opts Options) (*Cluster, error) {
 		MDSCap:       opts.MDSCap,
 		LeafCapacity: opts.LeafCapacity,
 		DirCapacity:  opts.DirCapacity,
+		Rollups:      opts.Rollups,
 	}
 	if _, err := c.store.Create(image.PathConfig, c.cfg.EncodeBytes()); err != nil {
 		return nil, err
@@ -1097,16 +1132,106 @@ func (cl *Client) BulkLoad(ctx context.Context, items []Item) error {
 	return err
 }
 
-// Query runs an aggregate query under the session's read preference
-// (leader-only unless the session was opened with WithReadPreference).
-func (cl *Client) Query(ctx context.Context, q Rect) (Aggregate, QueryInfo, error) {
-	return cl.QueryWith(ctx, q, QueryOptions{Read: cl.readPref, MaxReplicaLag: cl.maxLag})
+// GroupResult is one group of a grouped query: the ordinal of the level
+// value (its left-to-right index among all values at that level) and
+// its aggregate.
+type GroupResult = server.GroupResult
+
+// Result is the answer to one Query call.
+type Result struct {
+	// Agg aggregates the whole queried region.
+	Agg Aggregate
+	// Groups holds one aggregate per level value when the query was
+	// built with WithGroupBy; nil otherwise.
+	Groups []GroupResult
+	// Info reports the work performed: shards searched and missing,
+	// replica staleness, and which path answered (Info.Source():
+	// SourceRollup, SourceTree, or SourceMixed).
+	Info QueryInfo
 }
 
-// QueryWith runs an aggregate query with an explicit per-query read
-// preference, overriding the session default. Under ReadPreferReplica
-// the reply's QueryInfo reports which shards a replica copy served
-// (ReplicaShards) and the largest staleness observed (MaxReplicaLag).
+// queryPlan is the resolved shape of one Query call.
+type queryPlan struct {
+	opts    QueryOptions
+	groupBy bool
+	dim     int
+	level   int
+}
+
+// QueryOption shapes one Query call (WithGroupBy, WithReadPref,
+// WithMaxLag, WithNoRollup).
+type QueryOption func(*queryPlan)
+
+// WithGroupBy turns the query into a grouped aggregate: one result per
+// child value of dimension dim at the given level (0-based) inside the
+// queried region — the OLAP roll-up/drill-down primitive.
+func WithGroupBy(dim, level int) QueryOption {
+	return func(p *queryPlan) { p.groupBy = true; p.dim = dim; p.level = level }
+}
+
+// WithReadPref overrides the session's read preference for this query.
+func WithReadPref(pref ReadPreference) QueryOption {
+	return func(p *queryPlan) { p.opts.Read = pref }
+}
+
+// WithMaxLag bounds how many shipped-but-unapplied WAL records a
+// replica copy may be behind and still serve this query (only
+// meaningful under ReadPreferReplica).
+func WithMaxLag(n uint64) QueryOption {
+	return func(p *queryPlan) { p.opts.MaxReplicaLag = n }
+}
+
+// WithNoRollup forces the raw tree path even when a materialized rollup
+// covers the query (exact-path benchmarking, debugging).
+func WithNoRollup() QueryOption {
+	return func(p *queryPlan) { p.opts.NoRollup = true }
+}
+
+// Query is the session's one aggregate-query surface. Bare, it returns
+// the aggregate over q under the session's read preference; options
+// refine it:
+//
+//	res, err := client.Query(ctx, q)                          // aggregate
+//	res, err := client.Query(ctx, q, volap.WithGroupBy(0, 1)) // grouped
+//	res, err := client.Query(ctx, q, volap.WithNoRollup())    // force trees
+//
+// Result.Info reports the work performed, including which data path
+// answered (Info.Source()) and any shards missing from the answer.
+func (cl *Client) Query(ctx context.Context, q Rect, options ...QueryOption) (*Result, error) {
+	plan := queryPlan{opts: QueryOptions{Read: cl.readPref, MaxReplicaLag: cl.maxLag}}
+	for _, apply := range options {
+		apply(&plan)
+	}
+	if plan.groupBy {
+		resp, err := cl.request(ctx, "server.groupby",
+			server.EncodeGroupByRequestOpts(q, plan.dim, plan.level, plan.opts))
+		if err != nil {
+			return nil, err
+		}
+		groups, info, err := server.DecodeGroupByResponse(resp)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Agg: core.NewAggregate(), Groups: groups, Info: info}
+		for _, g := range groups {
+			res.Agg.Merge(g.Agg)
+		}
+		return res, nil
+	}
+	resp, err := cl.request(ctx, "server.query", server.EncodeQueryRequest(q, plan.opts))
+	if err != nil {
+		return nil, err
+	}
+	agg, info, err := server.DecodeQueryResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Agg: agg, Info: info}, nil
+}
+
+// QueryWith runs an aggregate query with an explicit options struct.
+//
+// Deprecated: use Query with WithReadPref / WithMaxLag / WithNoRollup.
 func (cl *Client) QueryWith(ctx context.Context, q Rect, opts QueryOptions) (Aggregate, QueryInfo, error) {
 	resp, err := cl.request(ctx, "server.query", server.EncodeQueryRequest(q, opts))
 	if err != nil {
@@ -1115,20 +1240,16 @@ func (cl *Client) QueryWith(ctx context.Context, q Rect, opts QueryOptions) (Agg
 	return server.DecodeQueryResponse(resp)
 }
 
-// GroupResult is one group of a GroupBy: the ordinal of the level value
-// (its left-to-right index among all values at that level) and its
-// aggregate.
-type GroupResult = server.GroupResult
-
 // GroupBy runs one aggregate per child value of dimension dim at the
-// given level (0-based) within the base region — the OLAP roll-up
-// primitive. Use AllRect for an unrestricted base.
+// given level (0-based) within the base region.
+//
+// Deprecated: use Query with WithGroupBy.
 func (cl *Client) GroupBy(ctx context.Context, base Rect, dim, level int) ([]GroupResult, error) {
-	resp, err := cl.request(ctx, "server.groupby", server.EncodeGroupByRequest(base, dim, level))
+	res, err := cl.Query(ctx, base, WithGroupBy(dim, level))
 	if err != nil {
 		return nil, err
 	}
-	return server.DecodeGroupByResponse(resp)
+	return res.Groups, nil
 }
 
 // Sync asks the session's server to push its local image immediately.
@@ -1166,16 +1287,20 @@ func (cl *Client) BulkLoadNoCtx(items []Item) error {
 }
 
 // QueryNoCtx is Query with context.Background().
-func (cl *Client) QueryNoCtx(q Rect) (Aggregate, QueryInfo, error) {
-	return cl.Query(context.Background(), q)
+func (cl *Client) QueryNoCtx(q Rect, options ...QueryOption) (*Result, error) {
+	return cl.Query(context.Background(), q, options...)
 }
 
 // QueryWithNoCtx is QueryWith with context.Background().
+//
+// Deprecated: use QueryNoCtx with WithReadPref / WithMaxLag / WithNoRollup.
 func (cl *Client) QueryWithNoCtx(q Rect, opts QueryOptions) (Aggregate, QueryInfo, error) {
 	return cl.QueryWith(context.Background(), q, opts)
 }
 
 // GroupByNoCtx is GroupBy with context.Background().
+//
+// Deprecated: use QueryNoCtx with WithGroupBy.
 func (cl *Client) GroupByNoCtx(base Rect, dim, level int) ([]GroupResult, error) {
 	return cl.GroupBy(context.Background(), base, dim, level)
 }

@@ -36,12 +36,12 @@ func TestConnectHandshake(t *testing.T) {
 	if err := cl.InsertBatchNoCtx(gen.Items(50)); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if agg.Count != 50 {
-		t.Fatalf("count = %d, want 50", agg.Count)
+	if res.Agg.Count != 50 {
+		t.Fatalf("count = %d, want 50", res.Agg.Count)
 	}
 }
 
@@ -66,7 +66,7 @@ func TestClientTimeoutWedgedServer(t *testing.T) {
 	defer cl.Close()
 	schema := twoDimSchema(t)
 	start := time.Now()
-	_, _, err = cl.Query(context.Background(), AllRect(schema))
+	_, err = cl.Query(context.Background(), AllRect(schema))
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -77,7 +77,7 @@ func TestClientTimeoutWedgedServer(t *testing.T) {
 	// An explicit context deadline takes precedence and cancels too.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	if _, _, err := cl.Query(ctx, AllRect(schema)); !errors.Is(err, ErrTimeout) {
+	if _, err := cl.Query(ctx, AllRect(schema)); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("ctx deadline err = %v, want ErrTimeout", err)
 	}
 }

@@ -95,9 +95,9 @@ func TestInsertValidationThroughStack(t *testing.T) {
 	if err := cl.InsertNoCtx(randItem(rng, c.Schema())); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || agg.Count != 1 {
-		t.Fatalf("after bad inserts: %v %v", agg, err)
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Agg.Count != 1 {
+		t.Fatalf("after bad inserts: %v %v", res, err)
 	}
 }
 

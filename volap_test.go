@@ -116,19 +116,19 @@ func TestInsertQueryMatchesReference(t *testing.T) {
 			batch = nil
 		}
 	}
-	agg, info, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if agg.Count != 3000 {
-		t.Fatalf("full query = %d", agg.Count)
+	if res.Agg.Count != 3000 {
+		t.Fatalf("full query = %d", res.Agg.Count)
 	}
-	if info.ShardsConsidered == 0 || info.WorkersContacted == 0 {
-		t.Errorf("query info empty: %+v", info)
+	if res.Info.ShardsConsidered == 0 || res.Info.WorkersContacted == 0 {
+		t.Errorf("query info empty: %+v", res.Info)
 	}
 	for q := 0; q < 30; q++ {
 		rect := randRect(rng, c.Schema())
-		agg, _, err := cl.QueryNoCtx(rect)
+		res, err := cl.QueryNoCtx(rect)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,8 +138,8 @@ func TestInsertQueryMatchesReference(t *testing.T) {
 				want++
 			}
 		}
-		if agg.Count != want {
-			t.Fatalf("query %v = %d, want %d", rect, agg.Count, want)
+		if res.Agg.Count != want {
+			t.Fatalf("query %v = %d, want %d", rect, res.Agg.Count, want)
 		}
 	}
 }
@@ -160,9 +160,9 @@ func TestBulkLoad(t *testing.T) {
 	if err := cl.BulkLoadNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || agg.Count != 5000 {
-		t.Fatalf("after bulk: %v %v", agg, err)
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Agg.Count != 5000 {
+		t.Fatalf("after bulk: %v %v", res, err)
 	}
 }
 
@@ -189,22 +189,22 @@ func TestCrossServerFreshness(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Same-server session: immediately visible.
-	agg, _, err := a.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || agg.Count != 500 {
-		t.Fatalf("same-server query = %v %v", agg, err)
+	res, err := a.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Agg.Count != 500 {
+		t.Fatalf("same-server query = %v %v", res, err)
 	}
 	// Cross-server session: converges within a few sync intervals.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := b.QueryNoCtx(AllRect(c.Schema()))
+		res, err := b.QueryNoCtx(AllRect(c.Schema()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if agg.Count == 500 {
+		if res.Agg.Count == 500 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("cross-server query stuck at %d", agg.Count)
+			t.Fatalf("cross-server query stuck at %d", res.Agg.Count)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -281,12 +281,12 @@ func TestLoadBalancing(t *testing.T) {
 	// Queries remain exact throughout (forwarding + image updates).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && agg.Count == 6000 {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && res.Agg.Count == 6000 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("query after balancing = %v %v", agg, err)
+			t.Fatalf("query after balancing = %v %v", res, err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -340,12 +340,12 @@ func TestDrainWorker(t *testing.T) {
 	// Queries converge to the full count (forwarding + image updates).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
-		if err == nil && agg.Count == 5000 {
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		if err == nil && res.Agg.Count == 5000 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("query after drain: %v %v", agg, err)
+			t.Fatalf("query after drain: %v %v", res, err)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -380,7 +380,7 @@ func TestConcurrentSessions(t *testing.T) {
 					return
 				}
 				if i%50 == 0 {
-					if _, _, err := cl.QueryNoCtx(randRect(rng, c.Schema())); err != nil {
+					if _, err := cl.QueryNoCtx(randRect(rng, c.Schema())); err != nil {
 						t.Error(err)
 						return
 					}
@@ -397,15 +397,15 @@ func TestConcurrentSessions(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	want := uint64(sessions * perSession)
 	for {
-		agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
+		res, err := cl.QueryNoCtx(AllRect(c.Schema()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if agg.Count == want {
+		if res.Agg.Count == want {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("converged to %d, want %d", agg.Count, want)
+			t.Fatalf("converged to %d, want %d", res.Agg.Count, want)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -519,9 +519,9 @@ func TestTCPTransport(t *testing.T) {
 	if err := cl.InsertBatchNoCtx(items); err != nil {
 		t.Fatal(err)
 	}
-	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || agg.Count != 800 {
-		t.Fatalf("tcp query = %v %v", agg, err)
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Agg.Count != 800 {
+		t.Fatalf("tcp query = %v %v", res, err)
 	}
 }
 
@@ -548,11 +548,11 @@ func TestTPCDSEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := func(q Rect) uint64 {
-		agg, _, err := cl.QueryNoCtx(q)
+		res, err := cl.QueryNoCtx(q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return agg.Count
+		return res.Agg.Count
 	}
 	bins := gen.GenerateBinned(count, 4000, 3, 2000)
 	for b := tpcds.Low; b <= tpcds.High; b++ {
@@ -571,13 +571,13 @@ func TestTPCDSEndToEnd(t *testing.T) {
 			inserted++
 		} else {
 			band := tpcds.Band(rng.Intn(3))
-			if _, _, err := cl.QueryNoCtx(bins.Pick(rng, band)); err != nil {
+			if _, err := cl.QueryNoCtx(bins.Pick(rng, band)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	agg, _, err := cl.QueryNoCtx(AllRect(c.Schema()))
-	if err != nil || agg.Count != 4000+inserted {
-		t.Fatalf("final count = %v %v, want %d", agg, err, 4000+inserted)
+	res, err := cl.QueryNoCtx(AllRect(c.Schema()))
+	if err != nil || res.Agg.Count != 4000+inserted {
+		t.Fatalf("final count = %v %v, want %d", res, err, 4000+inserted)
 	}
 }
